@@ -1,0 +1,289 @@
+// Command opbench regenerates the figures and tables of the paper's
+// experimental study (§4) and prints them as text.
+//
+// Usage:
+//
+//	opbench fig3            # correctness of the miner (Fig. 3 a/b)
+//	opbench fig4            # correctness of the periodic-trends baseline
+//	opbench fig5            # timing: miner detection vs trends sketch
+//	opbench fig6            # noise resilience sweep
+//	opbench table1          # period values, Wal-Mart & CIMEG substitutes
+//	opbench table2          # single-symbol patterns at p=24 / p=7
+//	opbench table3          # multi-symbol patterns, Wal-Mart, ψ=35%
+//	opbench all
+//
+// The default scale finishes in minutes; -full restores the paper's
+// 1M-symbol, 100-run settings (hours).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"periodica/internal/cimeg"
+	"periodica/internal/expr"
+	"periodica/internal/gen"
+	"periodica/internal/series"
+	"periodica/internal/walmart"
+)
+
+type scale struct {
+	length      int
+	runs        int
+	noiseRuns   int
+	timingSizes []int
+	months      int
+	days        int
+}
+
+var quickScale = scale{
+	length: 50000, runs: 5, noiseRuns: 3,
+	timingSizes: []int{1 << 13, 1 << 15, 1 << 17, 1 << 19},
+	months:      15, days: 365,
+}
+
+var fullScale = scale{
+	length: 1000000, runs: 100, noiseRuns: 20,
+	timingSizes: []int{1 << 16, 1 << 18, 1 << 20, 1 << 22},
+	months:      15, days: 365,
+}
+
+func main() {
+	full := flag.Bool("full", false, "paper-scale settings (1M symbols, 100 runs)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	sc := quickScale
+	if *full {
+		sc = fullScale
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	for _, cmd := range args {
+		var err error
+		switch cmd {
+		case "fig3":
+			err = fig3(sc, *seed)
+		case "fig4":
+			err = fig4(sc, *seed)
+		case "fig5":
+			err = fig5(sc, *seed)
+		case "fig6":
+			err = fig6(sc, *seed)
+		case "table1":
+			err = table1(sc, *seed)
+		case "table2":
+			err = table2(sc, *seed)
+		case "table3":
+			err = table3(sc, *seed)
+		case "ablation":
+			err = ablation(sc, *seed)
+		case "quality":
+			err = quality(sc, *seed)
+		case "all":
+			for _, f := range []func(scale, int64) error{fig3, fig4, fig5, fig6, table1, table2, table3, ablation, quality} {
+				if err = f(sc, *seed); err != nil {
+					break
+				}
+			}
+		default:
+			err = fmt.Errorf("unknown experiment %q", cmd)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func correctnessConfig(sc scale, seed int64) expr.CorrectnessConfig {
+	return expr.CorrectnessConfig{
+		Length: sc.length, Sigma: 10, Periods: []int{25, 32},
+		Dists:     []gen.Distribution{gen.Uniform, gen.Normal},
+		Multiples: 3, Runs: sc.runs, Seed: seed,
+	}
+}
+
+func fig3(sc scale, seed int64) error {
+	cfg := correctnessConfig(sc, seed)
+	points, err := expr.Correctness(cfg, expr.MinerConfidence())
+	if err != nil {
+		return err
+	}
+	expr.RenderCorrectness(os.Stdout, "Fig. 3(a) — miner correctness, inerrant data (confidence at multiples of P)", points)
+
+	cfg.Noise = gen.Replacement
+	cfg.Ratio = 0.2
+	points, err = expr.Correctness(cfg, expr.MinerConfidence())
+	if err != nil {
+		return err
+	}
+	expr.RenderCorrectness(os.Stdout, "\nFig. 3(b) — miner correctness, 20% replacement noise", points)
+	fmt.Println()
+	return nil
+}
+
+func fig4(sc scale, seed int64) error {
+	// The baseline runs in its published, sketched form. Its normalized-rank
+	// confidence depends on the absolute distance D(p), which shrinks with
+	// the overlap n−p, so under noise the rank systematically improves as
+	// the period grows — the bias §4.1 reports. The effect scales with p/n,
+	// so panel (b) sweeps multiples geometrically; the miner's panel at the
+	// same multiples (fig3) shows no comparable distance-driven trend.
+	cfg := correctnessConfig(sc, seed)
+	points, err := expr.Correctness(cfg, expr.TrendsConfidence(true, 0, seed))
+	if err != nil {
+		return err
+	}
+	expr.RenderCorrectness(os.Stdout, "Fig. 4(a) — periodic trends correctness, inerrant data (normalized rank)", points)
+
+	cfg.Noise = gen.Replacement
+	cfg.Ratio = 0.5
+	points, err = expr.Correctness(cfg, expr.TrendsConfidence(true, 0, seed))
+	if err != nil {
+		return err
+	}
+	expr.RenderCorrectness(os.Stdout, "\nFig. 4(b) — periodic trends correctness, 50% replacement noise (note the large-period bias)", points)
+
+	// Make the bias concrete: under noise the absolute distance shrinks
+	// with the overlap n−p, so the top of the trends candidate list fills
+	// with the largest multiples while the true period ranks mid-pack.
+	stats, err := expr.TrendsBias(cfg.Length, 25, 0.5, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nbias diagnostic (U, P=25, 50%% replacement, n=%d):\n", cfg.Length)
+	fmt.Printf("  rank of P=25 among %d candidates: %d\n", stats.Universe, stats.TrueRank)
+	fmt.Printf("  median of the top-100 candidate periods: %d (max period %d)\n", stats.TopMedian, stats.Universe)
+	fmt.Printf("  miner confidence at P=25 on the same data: %.3f (paper: detectable at ψ=40%%)\n", stats.MinerConfidence)
+	fmt.Println()
+	return nil
+}
+
+func fig5(sc scale, seed int64) error {
+	points, err := expr.Timing(sc.timingSizes, func(n int) (*series.Series, error) {
+		months := n/(30*24) + 1
+		s := walmart.Series(walmart.Config{Months: months, Seed: seed, DST: true})
+		return s.Slice(0, n), nil
+	})
+	if err != nil {
+		return err
+	}
+	expr.RenderTiming(os.Stdout, "Fig. 5 — detection-phase time vs series length (Wal-Mart-style data)", points)
+	fmt.Println()
+	return nil
+}
+
+func fig6(sc scale, seed int64) error {
+	ratios := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	for _, panel := range []struct {
+		title  string
+		dist   gen.Distribution
+		period int
+	}{
+		{"Fig. 6(a) — noise resilience, Uniform, P=25", gen.Uniform, 25},
+		{"Fig. 6(b) — noise resilience, Normal, P=32", gen.Normal, 32},
+	} {
+		points, err := expr.NoiseResilience(expr.NoiseConfig{
+			Length: sc.length, Sigma: 10, Period: panel.period, Dist: panel.dist,
+			Kinds: expr.AllNoiseKinds, Ratios: ratios, Runs: sc.noiseRuns, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		expr.RenderNoise(os.Stdout, panel.title, points)
+		fmt.Println()
+	}
+	return nil
+}
+
+var tableThresholds = []int{100, 90, 80, 70, 60, 50, 40, 30, 20, 10}
+
+func table1(sc scale, seed int64) error {
+	wm := walmart.Series(walmart.Config{Months: sc.months, Seed: seed, DST: true})
+	rows, err := expr.PeriodTable(wm, tableThresholds, 0, 4)
+	if err != nil {
+		return err
+	}
+	expr.RenderPeriodTable(os.Stdout, "Table 1 — period values, Wal-Mart substitute (hourly transactions)", rows)
+
+	cm := cimeg.Series(cimeg.Config{Days: sc.days, Seed: seed, Seasonal: true})
+	rows, err = expr.PeriodTable(cm, tableThresholds, 0, 4)
+	if err != nil {
+		return err
+	}
+	expr.RenderPeriodTable(os.Stdout, "\nTable 1 — period values, CIMEG substitute (daily power consumption)", rows)
+	fmt.Println()
+	return nil
+}
+
+func table2(sc scale, seed int64) error {
+	wm := walmart.Series(walmart.Config{Months: sc.months, Seed: seed, DST: true})
+	rows, err := expr.SinglePatternTable(wm, 24, tableThresholds[:6])
+	if err != nil {
+		return err
+	}
+	expr.RenderSinglePatternTable(os.Stdout, "Table 2 — single-symbol patterns, Wal-Mart substitute, period 24", rows)
+
+	cm := cimeg.Series(cimeg.Config{Days: sc.days, Seed: seed, Seasonal: true})
+	rows, err = expr.SinglePatternTable(cm, 7, tableThresholds[:6])
+	if err != nil {
+		return err
+	}
+	expr.RenderSinglePatternTable(os.Stdout, "\nTable 2 — single-symbol patterns, CIMEG substitute, period 7", rows)
+	fmt.Println()
+	return nil
+}
+
+func ablation(sc scale, seed int64) error {
+	sizes := []int{1 << 12, 1 << 14, 1 << 16}
+	rows, err := expr.EngineAblation(sizes, 0.7, 1<<14, seed)
+	if err != nil {
+		return err
+	}
+	expr.RenderEngineAblation(os.Stdout, "Ablation — full mining time per engine (ψ=0.7, pattern stage ≤ p=64)", rows)
+
+	skRows, err := expr.SketchAblation(1<<15, []int{2, 8, 32, 128}, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	expr.RenderSketchAblation(os.Stdout, "Ablation — trends sketch accuracy vs repetitions (n=32768)", skRows)
+
+	prRows, err := expr.PruneAblation(1<<14, []int{80, 40}, []int{1, 4, 16}, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	expr.RenderPruneAblation(os.Stdout, "Ablation — FFT-engine prune: (period, symbol) pairs needing phase resolution", prRows)
+	fmt.Println()
+	return nil
+}
+
+func quality(sc scale, seed int64) error {
+	cfg := expr.QualityConfig{Length: 8000, Period: 25, Sigma: 10,
+		Ratios: []float64{0.1, 0.3, 0.5}, Runs: sc.noiseRuns, TopK: 10, Seed: seed}
+	rows, err := expr.Quality(cfg)
+	if err != nil {
+		return err
+	}
+	expr.RenderQuality(os.Stdout,
+		"Quality (beyond the paper) — rank of the true period per detector under replacement noise",
+		rows, cfg.TopK)
+	fmt.Println()
+	return nil
+}
+
+func table3(sc scale, seed int64) error {
+	wm := walmart.Series(walmart.Config{Months: sc.months, Seed: seed, DST: true})
+	rows, err := expr.PatternTable(wm, 24, 0.35, 30)
+	if err != nil {
+		return err
+	}
+	expr.RenderPatternTable(os.Stdout, "Table 3 — periodic patterns, Wal-Mart substitute, period 24, ψ=35%", rows)
+	fmt.Println()
+	return nil
+}

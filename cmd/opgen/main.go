@@ -1,0 +1,109 @@
+// Command opgen generates the workloads of the paper's experimental study:
+// controlled synthetic series (uniform/normal pattern, R/I/D noise mixtures)
+// and the Wal-Mart and CIMEG real-data substitutes, written as one line of
+// single-letter symbols suitable for opminer.
+//
+// Usage:
+//
+//	opgen -kind synthetic -n 100000 -period 25 -sigma 10 -dist U -noise R -ratio 0.2 > series.txt
+//	opgen -kind walmart -months 15 > walmart.txt
+//	opgen -kind cimeg -days 365 -raw > cimeg-values.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"periodica/internal/cimeg"
+	"periodica/internal/gen"
+	"periodica/internal/series"
+	"periodica/internal/walmart"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "synthetic", "workload: synthetic, walmart, cimeg")
+		out    = flag.String("out", "", "output file (default stdout)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		raw    = flag.Bool("raw", false, "walmart/cimeg: emit numeric values, one per line, instead of symbols")
+		n      = flag.Int("n", 100000, "synthetic: series length")
+		period = flag.Int("period", 25, "synthetic: embedded period")
+		sigma  = flag.Int("sigma", 10, "synthetic: alphabet size")
+		dist   = flag.String("dist", "U", "synthetic: symbol distribution, U or N")
+		noise  = flag.String("noise", "", "synthetic: noise kinds, e.g. R, I, D, R+I+D")
+		ratio  = flag.Float64("ratio", 0, "synthetic: noise ratio in [0,1]")
+		months = flag.Int("months", 15, "walmart: months of hourly data")
+		days   = flag.Int("days", 365, "cimeg: days of daily data")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	switch *kind {
+	case "synthetic":
+		d := gen.Uniform
+		if strings.EqualFold(*dist, "N") {
+			d = gen.Normal
+		} else if !strings.EqualFold(*dist, "U") {
+			fatal(fmt.Errorf("unknown distribution %q (want U or N)", *dist))
+		}
+		kinds, err := gen.ParseNoise(*noise)
+		if err != nil {
+			fatal(err)
+		}
+		s, _, err := gen.Generate(gen.Config{
+			Length: *n, Period: *period, Sigma: *sigma, Dist: d,
+			Noise: kinds, NoiseRatio: *ratio, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		writeSymbols(w, s)
+	case "walmart":
+		values := walmart.Generate(walmart.Config{Months: *months, Seed: *seed, DST: true})
+		if *raw {
+			writeValues(w, values)
+		} else {
+			writeSymbols(w, walmart.Discretize(values))
+		}
+	case "cimeg":
+		values := cimeg.Generate(cimeg.Config{Days: *days, Seed: *seed, Seasonal: true})
+		if *raw {
+			writeValues(w, values)
+		} else {
+			writeSymbols(w, cimeg.Discretize(values))
+		}
+	default:
+		fatal(fmt.Errorf("unknown kind %q (want synthetic, walmart, cimeg)", *kind))
+	}
+}
+
+func writeSymbols(w *bufio.Writer, s *series.Series) {
+	for i := 0; i < s.Len(); i++ {
+		w.WriteString(s.Alphabet().Symbol(s.At(i)))
+	}
+	w.WriteByte('\n')
+}
+
+func writeValues(w *bufio.Writer, values []float64) {
+	for _, v := range values {
+		fmt.Fprintf(w, "%g\n", v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "opgen:", err)
+	os.Exit(1)
+}

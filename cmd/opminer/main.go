@@ -1,0 +1,253 @@
+// Command opminer mines obscure periodic patterns from a symbol series: the
+// period is not an input — discovering it is part of the mining process.
+//
+// Input formats (-format):
+//
+//	text    single-rune symbols, whitespace ignored (default)
+//	binary  the periodica binary series format (opgen/…)
+//	values  numeric values, one per line, discretized into -levels
+//	        equal-width levels
+//
+// Output lists the detected period values, the symbol periodicities, and the
+// periodic patterns with their supports; -json emits the full result as
+// JSON.
+//
+// Usage:
+//
+//	opgen -kind walmart | opminer -threshold 0.5 -top 20
+//	opminer -in readings.txt -format values -levels 5 -threshold 0.6
+//	opminer -in series.txt -threshold 0.8 -maximal -json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"periodica"
+	"periodica/internal/series"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "", "input file (default stdin)")
+		format     = flag.String("format", "text", "input format: text, binary, values, events")
+		levels     = flag.Int("levels", 5, "values format: number of levels")
+		sax        = flag.Bool("sax", false, "values format: SAX pipeline (z-score + Gaussian levels) instead of equal-width")
+		detrend    = flag.Int("detrend", 0, "values format with -sax: moving-average detrend window (0 = off)")
+		paa        = flag.Int("paa", 0, "values format with -sax: piecewise-aggregate frame (0 = off)")
+		bin        = flag.Duration("bin", time.Minute, "events format: grid resolution")
+		idle       = flag.String("idle", "idle", "events format: symbol for empty bins")
+		threshold  = flag.Float64("threshold", 0.8, "periodicity threshold ψ in (0,1]")
+		minPeriod  = flag.Int("min-period", 0, "smallest candidate period (default 1)")
+		maxPeriod  = flag.Int("max-period", 0, "largest candidate period (default n/2)")
+		engine     = flag.String("engine", "auto", "engine: auto, naive, bitset, fft")
+		maxPatP    = flag.Int("max-pattern-period", 128, "largest period mined for multi-symbol patterns (-1 disables)")
+		maximal    = flag.Bool("maximal", false, "report only maximal multi-symbol patterns")
+		jsonOut    = flag.Bool("json", false, "emit the result as JSON")
+		top        = flag.Int("top", 25, "rows printed per section (0 = all)")
+		candidates = flag.Bool("candidates-only", false, "run only the O(σ n log n) detection phase and list candidate periods")
+	)
+	flag.Parse()
+
+	s, err := readSeries(*in, *format, prepConfig{
+		levels: *levels, sax: *sax, detrend: *detrend, paa: *paa,
+		bin: *bin, idle: *idle,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if !*jsonOut {
+		fmt.Printf("series: n=%d symbols, alphabet %v\n", s.Len(), s.Alphabet())
+	}
+
+	if *candidates {
+		periods, err := periodica.CandidatePeriods(s, *threshold, *maxPeriod)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			emitJSON(map[string]any{"threshold": *threshold, "candidatePeriods": periods})
+			return
+		}
+		fmt.Printf("candidate periods (ψ=%.2f): %d\n", *threshold, len(periods))
+		printPeriods(periods, *top)
+		return
+	}
+
+	eng, err := parseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := periodica.Mine(s, periodica.Options{
+		Threshold: *threshold, MinPeriod: *minPeriod, MaxPeriod: *maxPeriod,
+		Engine: eng, MaxPatternPeriod: *maxPatP, MaximalOnly: *maximal,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		emitJSON(res)
+		return
+	}
+
+	fmt.Printf("\ndetected periods (ψ=%.2f): %d\n", *threshold, len(res.Periods))
+	printPeriods(res.Periods, *top)
+
+	fmt.Printf("\nsymbol periodicities: %d\n", len(res.Periodicities))
+	sort.SliceStable(res.Periodicities, func(i, j int) bool {
+		return res.Periodicities[i].Confidence > res.Periodicities[j].Confidence
+	})
+	for i, sp := range res.Periodicities {
+		if *top > 0 && i >= *top {
+			fmt.Printf("  … %d more\n", len(res.Periodicities)-i)
+			break
+		}
+		fmt.Printf("  symbol %-4s period %-6d position %-6d confidence %.3f (%d matches)\n",
+			sp.Symbol, sp.Period, sp.Position, sp.Confidence, sp.Matches)
+	}
+
+	fmt.Printf("\nmulti-symbol patterns: %d", len(res.Patterns))
+	if res.Truncated {
+		fmt.Print(" (truncated)")
+	}
+	fmt.Println()
+	for i, pt := range res.Patterns {
+		if *top > 0 && i >= *top {
+			fmt.Printf("  … %d more\n", len(res.Patterns)-i)
+			break
+		}
+		fmt.Printf("  p=%-5d %-40s support %.1f%%\n", pt.Period, pt.Text, pt.Support*100)
+	}
+}
+
+type prepConfig struct {
+	levels  int
+	sax     bool
+	detrend int
+	paa     int
+	bin     time.Duration
+	idle    string
+}
+
+func readSeries(path, format string, cfg prepConfig) (*periodica.Series, error) {
+	var r io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	switch format {
+	case "text":
+		inner, err := series.ReadText(r)
+		if err != nil {
+			return nil, err
+		}
+		return periodica.NewSeriesFromString(inner.String())
+	case "binary":
+		inner, err := series.ReadBinary(r)
+		if err != nil {
+			return nil, err
+		}
+		return periodica.NewSeriesFromString(inner.String())
+	case "values":
+		values, err := series.ReadValues(r)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.sax {
+			return periodica.DiscretizeSAX(values, periodica.SAXOptions{
+				Levels: cfg.levels, Frame: cfg.paa, DetrendWindow: cfg.detrend,
+			})
+		}
+		return periodica.DiscretizeEqualWidth(values, cfg.levels)
+	case "events":
+		events, err := readEvents(r)
+		if err != nil {
+			return nil, err
+		}
+		return periodica.GridEvents(events, cfg.bin, cfg.idle)
+	}
+	return nil, fmt.Errorf("unknown format %q (want text, binary, values)", format)
+}
+
+// readEvents parses "RFC3339-timestamp symbol" lines.
+func readEvents(r io.Reader) ([]periodica.Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []periodica.Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("events line %d: want \"<RFC3339 time> <symbol>\", got %q", line, text)
+		}
+		ts, err := time.Parse(time.RFC3339, fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("events line %d: %v", line, err)
+		}
+		out = append(out, periodica.Event{Time: ts, Symbol: fields[1]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+}
+
+func parseEngine(name string) (periodica.Engine, error) {
+	switch strings.ToLower(name) {
+	case "auto":
+		return periodica.EngineAuto, nil
+	case "naive":
+		return periodica.EngineNaive, nil
+	case "bitset":
+		return periodica.EngineBitset, nil
+	case "fft":
+		return periodica.EngineFFT, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q", name)
+}
+
+func printPeriods(periods []int, top int) {
+	limit := len(periods)
+	if top > 0 && top < limit {
+		limit = top
+	}
+	var parts []string
+	for _, p := range periods[:limit] {
+		parts = append(parts, fmt.Sprint(p))
+	}
+	line := strings.Join(parts, ", ")
+	if limit < len(periods) {
+		line += ", …"
+	}
+	fmt.Printf("  %s\n", line)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "opminer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+// Command opserve runs the mining service over HTTP:
+//
+//	opserve -addr :8723
+//
+//	curl -s localhost:8723/healthz
+//	curl -s localhost:8723/v1/mine -d '{"symbols":"abcabbabcb","threshold":0.66}'
+//	curl -s localhost:8723/v1/candidates -d '{"values":[1,5,9,1,5,9],"levels":3,"threshold":1}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"periodica/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8723", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+	}
+	log.Printf("periodica mining service listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

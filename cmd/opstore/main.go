@@ -1,0 +1,214 @@
+// Command opstore manages an on-disk symbol store and answers periodicity
+// queries over its history from the persisted per-segment summaries.
+//
+// Usage:
+//
+//	opstore -dir ./events init -sigma 5 -max-period 128 -segment 4096
+//	opgen -kind walmart | opstore -dir ./events append
+//	opstore -dir ./events info
+//	opstore -dir ./events query -threshold 0.8 -from 0 -to 3 -top 20
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"unicode"
+
+	"periodica/internal/alphabet"
+	"periodica/internal/core"
+	"periodica/internal/store"
+)
+
+func main() {
+	dir := flag.String("dir", "", "store directory (required)")
+	flag.Parse()
+	if *dir == "" || flag.NArg() < 1 {
+		fatal(fmt.Errorf("usage: opstore -dir <path> {init|append|info|query} [flags]"))
+	}
+	var err error
+	switch cmd := flag.Arg(0); cmd {
+	case "init":
+		err = runInit(*dir, flag.Args()[1:])
+	case "append":
+		err = runAppend(*dir, flag.Args()[1:])
+	case "info":
+		err = runInfo(*dir)
+	case "query":
+		err = runQuery(*dir, flag.Args()[1:])
+	case "mine":
+		err = runMine(*dir, flag.Args()[1:])
+	default:
+		err = fmt.Errorf("unknown command %q (want init, append, info, query, mine)", cmd)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func runInit(dir string, args []string) error {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	sigma := fs.Int("sigma", 5, "alphabet size (1..26, symbols a..)")
+	maxPeriod := fs.Int("max-period", 128, "largest summarized period")
+	segment := fs.Int("segment", 4096, "symbols per sealed segment")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := store.Open(dir, store.Options{Sigma: *sigma, MaxPeriod: *maxPeriod, SegmentSize: *segment})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("store initialized at %s (σ=%d, maxPeriod=%d, segment=%d)\n", dir, *sigma, *maxPeriod, *segment)
+	return db.Close()
+}
+
+func runAppend(dir string, args []string) error {
+	fs := flag.NewFlagSet("append", flag.ExitOnError)
+	in := fs.String("in", "", "input file of single-rune symbols (default stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := store.OpenExisting(dir)
+	if err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	br := bufio.NewReader(r)
+	appended := 0
+	for {
+		ch, _, err := br.ReadRune()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if unicode.IsSpace(ch) {
+			continue
+		}
+		k := int(ch - 'a')
+		if k < 0 || k >= db.Sigma() {
+			return fmt.Errorf("symbol %q outside store alphabet a..%c", ch, 'a'+db.Sigma()-1)
+		}
+		if err := db.Append(k); err != nil {
+			return err
+		}
+		appended++
+	}
+	if err := db.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("appended %d symbols; store now holds %d symbols in %d segments\n",
+		appended, db.Len(), db.Segments())
+	return nil
+}
+
+func runInfo(dir string) error {
+	db, err := store.OpenExisting(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("store %s: %d symbols, %d sealed segments, σ=%d, maxPeriod=%d\n",
+		dir, db.Len(), db.Segments(), db.Sigma(), db.MaxPeriod())
+	return nil
+}
+
+func runQuery(dir string, args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.8, "periodicity threshold ψ")
+	from := fs.Int("from", 0, "first segment (inclusive)")
+	to := fs.Int("to", -1, "last segment (exclusive; -1 = all)")
+	top := fs.Int("top", 25, "rows printed (0 = all)")
+	minPairs := fs.Int("min-pairs", 2, "minimum projection pairs behind a reported periodicity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := store.OpenExisting(dir)
+	if err != nil {
+		return err
+	}
+	if *to < 0 {
+		*to = db.Segments()
+	}
+	pers, err := db.PeriodicitiesRange(*from, *to, *threshold)
+	if err != nil {
+		return err
+	}
+	sort.Slice(pers, func(i, j int) bool {
+		if pers[i].Confidence != pers[j].Confidence {
+			return pers[i].Confidence > pers[j].Confidence
+		}
+		return pers[i].Period < pers[j].Period
+	})
+	printed := 0
+	for _, sp := range pers {
+		if sp.Pairs < *minPairs {
+			continue
+		}
+		if *top > 0 && printed >= *top {
+			fmt.Println("  …")
+			break
+		}
+		fmt.Printf("  symbol %c  period %-6d position %-6d confidence %.3f (%d/%d)\n",
+			'a'+sp.Symbol, sp.Period, sp.Position, sp.Confidence, sp.F2, sp.Pairs)
+		printed++
+	}
+	if printed == 0 {
+		fmt.Println("  no periodicities at this threshold")
+	}
+	return nil
+}
+
+func runMine(dir string, args []string) error {
+	fs := flag.NewFlagSet("mine", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.8, "periodicity threshold ψ")
+	from := fs.Int("from", 0, "first segment (inclusive)")
+	to := fs.Int("to", -1, "last segment (exclusive; -1 = all, including active)")
+	maxPatP := fs.Int("max-pattern-period", 128, "largest period mined for patterns")
+	top := fs.Int("top", 20, "patterns printed (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := store.OpenExisting(dir)
+	if err != nil {
+		return err
+	}
+	if *to < 0 {
+		*to = db.Segments()
+	}
+	res, err := db.Mine(*from, *to, core.Options{
+		Threshold: *threshold, MaxPatternPeriod: *maxPatP,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("segments [%d,%d): %d periods, %d periodicities, %d patterns\n",
+		*from, *to, len(res.Periods), len(res.Periodicities), len(res.Patterns))
+	alpha := alphabetLetters(db.Sigma())
+	for i, pt := range res.Patterns {
+		if *top > 0 && i >= *top {
+			fmt.Printf("  … %d more\n", len(res.Patterns)-i)
+			break
+		}
+		fmt.Printf("  p=%-5d %-40s support %.1f%%\n", pt.Period, pt.Render(alpha), pt.Support*100)
+	}
+	return nil
+}
+
+func alphabetLetters(sigma int) *alphabet.Alphabet { return alphabet.Letters(sigma) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "opstore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module periodica
+
+go 1.22

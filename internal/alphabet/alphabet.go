@@ -1,0 +1,123 @@
+// Package alphabet maintains the symbol table Σ of a discretized time series
+// and the paper's power-of-two mapping Φ that turns symbols into σ-bit binary
+// codes (symbol s_k ↦ the binary representation of 2^k).
+package alphabet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Alphabet is an ordered set of symbols. The order fixes the index k assigned
+// to each symbol and therefore the bit position used by the mapping Φ.
+type Alphabet struct {
+	symbols []string
+	index   map[string]int
+}
+
+// New builds an alphabet from the given symbols in the given order.
+// Duplicate symbols are rejected.
+func New(symbols ...string) (*Alphabet, error) {
+	a := &Alphabet{index: make(map[string]int, len(symbols))}
+	for _, s := range symbols {
+		if s == "" {
+			return nil, fmt.Errorf("alphabet: empty symbol")
+		}
+		if _, dup := a.index[s]; dup {
+			return nil, fmt.Errorf("alphabet: duplicate symbol %q", s)
+		}
+		a.index[s] = len(a.symbols)
+		a.symbols = append(a.symbols, s)
+	}
+	return a, nil
+}
+
+// MustNew is New, panicking on error. Intended for tests and fixed literals.
+func MustNew(symbols ...string) *Alphabet {
+	a, err := New(symbols...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// FromString builds a single-rune-symbol alphabet from the distinct runes of s
+// in sorted order, so e.g. "abcabbabcb" yields {a, b, c} with a=0, b=1, c=2 as
+// in the paper's examples.
+func FromString(s string) *Alphabet {
+	seen := make(map[rune]bool)
+	var runes []rune
+	for _, r := range s {
+		if !seen[r] {
+			seen[r] = true
+			runes = append(runes, r)
+		}
+	}
+	sort.Slice(runes, func(i, j int) bool { return runes[i] < runes[j] })
+	a := &Alphabet{index: make(map[string]int, len(runes))}
+	for _, r := range runes {
+		a.index[string(r)] = len(a.symbols)
+		a.symbols = append(a.symbols, string(r))
+	}
+	return a
+}
+
+// Letters returns an alphabet of the first σ lowercase latin letters
+// ("a", "b", ...). σ must be in [1, 26].
+func Letters(sigma int) *Alphabet {
+	if sigma < 1 || sigma > 26 {
+		panic(fmt.Sprintf("alphabet: Letters(%d) out of range [1,26]", sigma))
+	}
+	a := &Alphabet{index: make(map[string]int, sigma)}
+	for k := 0; k < sigma; k++ {
+		s := string(rune('a' + k))
+		a.index[s] = k
+		a.symbols = append(a.symbols, s)
+	}
+	return a
+}
+
+// Size returns σ, the number of symbols.
+func (a *Alphabet) Size() int { return len(a.symbols) }
+
+// Index returns the index k of symbol s and whether it is present.
+func (a *Alphabet) Index(s string) (int, bool) {
+	k, ok := a.index[s]
+	return k, ok
+}
+
+// Symbol returns the symbol with index k.
+func (a *Alphabet) Symbol(k int) string {
+	if k < 0 || k >= len(a.symbols) {
+		panic(fmt.Sprintf("alphabet: symbol index %d out of range [0,%d)", k, len(a.symbols)))
+	}
+	return a.symbols[k]
+}
+
+// Symbols returns the symbols in index order. The caller must not mutate the
+// returned slice.
+func (a *Alphabet) Symbols() []string { return a.symbols }
+
+// Code returns Φ(s_k): the σ-bit code of symbol k, i.e. the integer 2^k.
+// It is valid only for σ ≤ 63; larger alphabets use bit vectors directly.
+func (a *Alphabet) Code(k int) uint64 {
+	if k < 0 || k >= len(a.symbols) {
+		panic(fmt.Sprintf("alphabet: symbol index %d out of range [0,%d)", k, len(a.symbols)))
+	}
+	if len(a.symbols) > 63 {
+		panic("alphabet: Code requires σ ≤ 63")
+	}
+	return 1 << uint(k)
+}
+
+// String renders the alphabet as "{a, b, c}".
+func (a *Alphabet) String() string {
+	out := "{"
+	for i, s := range a.symbols {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out + "}"
+}

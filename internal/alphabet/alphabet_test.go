@@ -1,0 +1,158 @@
+package alphabet
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAssignsIndicesInOrder(t *testing.T) {
+	a, err := New("low", "medium", "high")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if a.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", a.Size())
+	}
+	for want, s := range []string{"low", "medium", "high"} {
+		k, ok := a.Index(s)
+		if !ok || k != want {
+			t.Errorf("Index(%q) = %d,%v, want %d,true", s, k, ok, want)
+		}
+		if got := a.Symbol(want); got != s {
+			t.Errorf("Symbol(%d) = %q, want %q", want, got, s)
+		}
+	}
+}
+
+func TestNewRejectsDuplicates(t *testing.T) {
+	if _, err := New("a", "b", "a"); err == nil {
+		t.Fatal("New with duplicate symbol: want error, got nil")
+	}
+}
+
+func TestNewRejectsEmptySymbol(t *testing.T) {
+	if _, err := New("a", ""); err == nil {
+		t.Fatal("New with empty symbol: want error, got nil")
+	}
+}
+
+func TestMustNewPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with duplicate: want panic")
+		}
+	}()
+	MustNew("x", "x")
+}
+
+func TestFromStringSortsDistinctRunes(t *testing.T) {
+	a := FromString("cabccbacd")
+	want := []string{"a", "b", "c", "d"}
+	if a.Size() != len(want) {
+		t.Fatalf("Size = %d, want %d", a.Size(), len(want))
+	}
+	for i, s := range want {
+		if a.Symbol(i) != s {
+			t.Errorf("Symbol(%d) = %q, want %q", i, a.Symbol(i), s)
+		}
+	}
+}
+
+func TestFromStringEmpty(t *testing.T) {
+	a := FromString("")
+	if a.Size() != 0 {
+		t.Fatalf("Size = %d, want 0", a.Size())
+	}
+}
+
+func TestLetters(t *testing.T) {
+	a := Letters(5)
+	if a.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", a.Size())
+	}
+	if a.Symbol(0) != "a" || a.Symbol(4) != "e" {
+		t.Errorf("Letters(5) = %v, want a..e", a.Symbols())
+	}
+	k, ok := a.Index("c")
+	if !ok || k != 2 {
+		t.Errorf("Index(c) = %d,%v, want 2,true", k, ok)
+	}
+}
+
+func TestLettersPanicsOutOfRange(t *testing.T) {
+	for _, bad := range []int{0, -1, 27} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Letters(%d): want panic", bad)
+				}
+			}()
+			Letters(bad)
+		}()
+	}
+}
+
+func TestCodeIsPowerOfTwo(t *testing.T) {
+	a := Letters(10)
+	for k := 0; k < 10; k++ {
+		if got, want := a.Code(k), uint64(1)<<uint(k); got != want {
+			t.Errorf("Code(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestCodeRejectsWideAlphabet(t *testing.T) {
+	syms := make([]string, 64)
+	for i := range syms {
+		syms[i] = "s" + strings.Repeat("x", i+1)
+	}
+	a := MustNew(syms...)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Code on σ=64 alphabet: want panic")
+		}
+	}()
+	a.Code(0)
+}
+
+func TestIndexMissing(t *testing.T) {
+	a := Letters(3)
+	if _, ok := a.Index("z"); ok {
+		t.Fatal("Index(z) on {a,b,c}: want ok=false")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Letters(3).String(); got != "{a, b, c}" {
+		t.Fatalf("String = %q, want {a, b, c}", got)
+	}
+}
+
+func TestSymbolPanicsOutOfRange(t *testing.T) {
+	a := Letters(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Symbol(5): want panic")
+		}
+	}()
+	a.Symbol(5)
+}
+
+func TestFromStringRoundTripProperty(t *testing.T) {
+	// Every rune of the input must be indexable, and indices must decode back
+	// to the same rune.
+	f := func(s string) bool {
+		a := FromString(s)
+		for _, r := range s {
+			k, ok := a.Index(string(r))
+			if !ok || a.Symbol(k) != string(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

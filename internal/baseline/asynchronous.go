@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"fmt"
+
+	"periodica/internal/series"
+)
+
+// AsyncPattern is a longest asynchronous occurrence of a single-symbol
+// periodicity in the style of Yang, Wang and Yu (KDD 2000, the paper's
+// reference [20]): a chain of valid segments — runs of the symbol recurring
+// every Period positions, each at least MinRep repetitions long — where
+// consecutive segments may be separated (and the phase shifted) by at most
+// MaxDisturbance positions. Unlike Definition 1, the pattern's phase may
+// drift along the series; the price is that the period must effectively be
+// confirmed segment by segment.
+type AsyncPattern struct {
+	Symbol      int
+	Period      int
+	Start       int // first position of the first segment
+	End         int // last position of the last segment
+	Repetitions int // total symbol occurrences across the chained segments
+	Segments    int
+}
+
+// AsyncConfig tunes FindAsync.
+type AsyncConfig struct {
+	// MinRep is the minimum repetitions for a segment to be valid.
+	// Default 3.
+	MinRep int
+	// MaxDisturbance is the largest gap (in positions) allowed between
+	// chained segments. Default = Period.
+	MaxDisturbance int
+}
+
+// FindAsync returns, for symbol k at period p, the longest asynchronous
+// pattern (maximizing total repetitions, then span), or nil when no valid
+// segment exists. Linear in the series length: segments are the maximal
+// arithmetic runs of k with stride p, chained greedily by a DP over segment
+// ends.
+func FindAsync(s *series.Series, k, p int, cfg AsyncConfig) (*AsyncPattern, error) {
+	n := s.Len()
+	if p < 1 || p >= n {
+		return nil, fmt.Errorf("baseline: period %d outside [1,%d)", p, n)
+	}
+	if k < 0 || k >= s.Alphabet().Size() {
+		return nil, fmt.Errorf("baseline: symbol %d outside alphabet", k)
+	}
+	if cfg.MinRep == 0 {
+		cfg.MinRep = 3
+	}
+	if cfg.MinRep < 2 {
+		return nil, fmt.Errorf("baseline: MinRep %d < 2", cfg.MinRep)
+	}
+	if cfg.MaxDisturbance == 0 {
+		cfg.MaxDisturbance = p
+	}
+
+	// Maximal stride-p runs of symbol k, per phase, in start order.
+	type segment struct {
+		start, end, reps int
+	}
+	var segments []segment
+	for l := 0; l < p; l++ {
+		runStart, reps := -1, 0
+		for i := l; i < n; i += p {
+			if s.At(i) == k {
+				if runStart < 0 {
+					runStart = i
+				}
+				reps++
+				continue
+			}
+			if reps >= cfg.MinRep {
+				segments = append(segments, segment{runStart, runStart + (reps-1)*p, reps})
+			}
+			runStart, reps = -1, 0
+		}
+		if reps >= cfg.MinRep {
+			segments = append(segments, segment{runStart, runStart + (reps-1)*p, reps})
+		}
+	}
+	if len(segments) == 0 {
+		return nil, nil
+	}
+	// Sort by start for the chaining DP.
+	for i := 1; i < len(segments); i++ {
+		for j := i; j > 0 && segments[j].start < segments[j-1].start; j-- {
+			segments[j], segments[j-1] = segments[j-1], segments[j]
+		}
+	}
+
+	type state struct {
+		reps, count, start int
+	}
+	best := make([]state, len(segments))
+	overallBest, overallIdx := state{}, -1
+	for i, seg := range segments {
+		best[i] = state{reps: seg.reps, count: 1, start: seg.start}
+		for j := i - 1; j >= 0; j-- {
+			prev := segments[j]
+			if prev.end >= seg.start {
+				continue // overlapping phases; a chain must move forward
+			}
+			gap := seg.start - prev.end - p // slack beyond the regular stride
+			if gap < 0 {
+				gap = seg.start - prev.end
+			}
+			if gap > cfg.MaxDisturbance {
+				continue
+			}
+			if cand := best[j].reps + seg.reps; cand > best[i].reps {
+				best[i] = state{reps: cand, count: best[j].count + 1, start: best[j].start}
+			}
+		}
+		if best[i].reps > overallBest.reps ||
+			(best[i].reps == overallBest.reps && overallIdx >= 0 && seg.end-best[i].start > segments[overallIdx].end-overallBest.start) {
+			overallBest, overallIdx = best[i], i
+		}
+	}
+	return &AsyncPattern{
+		Symbol: k, Period: p,
+		Start: overallBest.start, End: segments[overallIdx].end,
+		Repetitions: overallBest.reps, Segments: overallBest.count,
+	}, nil
+}

@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"testing"
+
+	"periodica/internal/alphabet"
+	"periodica/internal/series"
+)
+
+// buildSeries places symbol 0 at the given positions over a length-n series
+// of background symbol 1.
+func buildSeries(t *testing.T, n int, positions []int) *series.Series {
+	t.Helper()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = 1
+	}
+	for _, pos := range positions {
+		idx[pos] = 0
+	}
+	s, err := series.New(alphabet.Letters(2), idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFindAsyncSingleSegment(t *testing.T) {
+	// Symbol at 2, 7, 12, 17: one stride-5 run of 4 repetitions.
+	s := buildSeries(t, 25, []int{2, 7, 12, 17})
+	pat, err := FindAsync(s, 0, 5, AsyncConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat == nil {
+		t.Fatal("no pattern found")
+	}
+	if pat.Start != 2 || pat.End != 17 || pat.Repetitions != 4 || pat.Segments != 1 {
+		t.Fatalf("pattern %+v", pat)
+	}
+}
+
+func TestFindAsyncChainsAcrossPhaseShift(t *testing.T) {
+	// Segment A: 0, 5, 10 (phase 0). Then a shift of +2: 17, 22, 27
+	// (phase 2). The asynchronous pattern chains both; Definition 1 sees
+	// only 3 repetitions at either phase.
+	s := buildSeries(t, 35, []int{0, 5, 10, 17, 22, 27})
+	pat, err := FindAsync(s, 0, 5, AsyncConfig{MaxDisturbance: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat == nil {
+		t.Fatal("no pattern")
+	}
+	if pat.Segments != 2 || pat.Repetitions != 6 || pat.Start != 0 || pat.End != 27 {
+		t.Fatalf("pattern %+v, want 2 segments × 6 repetitions over [0,27]", pat)
+	}
+}
+
+func TestFindAsyncRespectsMaxDisturbance(t *testing.T) {
+	s := buildSeries(t, 60, []int{0, 5, 10, 30, 35, 40})
+	// Gap of 20−5=15 beyond the stride: disallowed at 3, allowed at 15.
+	tight, err := FindAsync(s, 0, 5, AsyncConfig{MaxDisturbance: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Segments != 1 || tight.Repetitions != 3 {
+		t.Fatalf("tight %+v, want a single segment", tight)
+	}
+	loose, err := FindAsync(s, 0, 5, AsyncConfig{MaxDisturbance: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Segments != 2 || loose.Repetitions != 6 {
+		t.Fatalf("loose %+v, want both segments chained", loose)
+	}
+}
+
+func TestFindAsyncMinRep(t *testing.T) {
+	// Two repetitions only: below the default MinRep of 3.
+	s := buildSeries(t, 20, []int{0, 5})
+	pat, err := FindAsync(s, 0, 5, AsyncConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat != nil {
+		t.Fatalf("pattern %+v from a 2-repetition run", pat)
+	}
+	pat, err = FindAsync(s, 0, 5, AsyncConfig{MinRep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat == nil || pat.Repetitions != 2 {
+		t.Fatalf("MinRep=2 should accept the run: %+v", pat)
+	}
+}
+
+func TestFindAsyncValidates(t *testing.T) {
+	s := buildSeries(t, 10, []int{0})
+	if _, err := FindAsync(s, 0, 0, AsyncConfig{}); err == nil {
+		t.Fatal("p=0: want error")
+	}
+	if _, err := FindAsync(s, 5, 2, AsyncConfig{}); err == nil {
+		t.Fatal("bad symbol: want error")
+	}
+	if _, err := FindAsync(s, 0, 2, AsyncConfig{MinRep: 1}); err == nil {
+		t.Fatal("MinRep=1: want error")
+	}
+}
+
+func TestFindAsyncPrefersMoreRepetitions(t *testing.T) {
+	// A long run (5 reps) and a short one (3 reps) far apart: the best
+	// pattern is the long run alone when chaining is impossible.
+	s := buildSeries(t, 80, []int{0, 5, 10, 15, 20, 60, 65, 70})
+	pat, err := FindAsync(s, 0, 5, AsyncConfig{MaxDisturbance: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat.Repetitions != 5 || pat.Start != 0 {
+		t.Fatalf("pattern %+v, want the 5-repetition run", pat)
+	}
+}

@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"sort"
+
+	"periodica/internal/conv"
+	"periodica/internal/series"
+)
+
+// BerberidisConfig configures the per-symbol autocorrelation period finder.
+type BerberidisConfig struct {
+	// MinConfidence is the minimum fraction of the maximum possible lag-p
+	// matches a candidate must reach. Default 0.5.
+	MinConfidence float64
+	// MaxPeriod bounds the candidate periods; 0 means n/2.
+	MaxPeriod int
+}
+
+func (c BerberidisConfig) withDefaults(n int) BerberidisConfig {
+	if c.MinConfidence == 0 {
+		c.MinConfidence = 0.5
+	}
+	if c.MaxPeriod == 0 {
+		c.MaxPeriod = n / 2
+	}
+	return c
+}
+
+// Berberidis finds candidate periods per symbol by thresholding the symbol's
+// autocorrelation (Berberidis et al., ECAI 2002): one FFT pass per symbol,
+// candidate p when the lag-p match count reaches MinConfidence of the
+// largest count achievable at that lag. Unlike Ma–Hellerstein it sees
+// non-adjacent recurrences, but it yields only candidate periods — obtaining
+// the patterns themselves requires a further known-period mining pass per
+// candidate (BerberidisMine), which is the multi-pass structure §1.1
+// criticizes.
+func Berberidis(s *series.Series, cfg BerberidisConfig) map[int][]int {
+	cfg = cfg.withDefaults(s.Len())
+	lag := conv.LagMatchCounts(s)
+	n := s.Len()
+	out := make(map[int][]int)
+	for k := range lag {
+		var cands []int
+		for p := 1; p <= cfg.MaxPeriod; p++ {
+			// A symbol can match at lag p at most once per projection slot
+			// pair; ⌈(n−p)/p⌉ caps the count when every slot matches.
+			maxPossible := (n + p - 1) / p
+			if maxPossible < 1 {
+				continue
+			}
+			if float64(lag[k][p]) >= cfg.MinConfidence*float64(maxPossible) {
+				cands = append(cands, p)
+			}
+		}
+		if len(cands) > 0 {
+			sort.Ints(cands)
+			out[k] = cands
+		}
+	}
+	return out
+}
+
+// BerberidisMine is the full multi-pass pipeline: find candidate periods per
+// symbol, then run the known-period miner once per distinct candidate period.
+// It returns the union of patterns keyed by period. The extra scans per
+// candidate are inherent to the approach; the caller can count them via the
+// returned pass count.
+func BerberidisMine(s *series.Series, cfg BerberidisConfig, minSup float64) (map[int][]KnownPeriodPattern, int) {
+	cands := Berberidis(s, cfg)
+	periodSet := map[int]bool{}
+	for _, ps := range cands {
+		for _, p := range ps {
+			periodSet[p] = true
+		}
+	}
+	passes := 1 // the autocorrelation pass
+	out := make(map[int][]KnownPeriodPattern)
+	var periods []int
+	for p := range periodSet {
+		periods = append(periods, p)
+	}
+	sort.Ints(periods)
+	for _, p := range periods {
+		passes++
+		pats := HanMine(s, p, minSup, 1000)
+		if len(pats) > 0 {
+			out[p] = pats
+		}
+	}
+	return out, passes
+}

@@ -1,0 +1,160 @@
+package baseline
+
+import (
+	"sort"
+	"strings"
+
+	"periodica/internal/alphabet"
+	"periodica/internal/bitvec"
+	"periodica/internal/series"
+)
+
+// KnownPeriodPattern is a partial periodic pattern for a fixed, known period:
+// Symbols[l] is the symbol required at offset l of each period occurrence, or
+// -1 for don't-care. Support counts the occurrences at which every fixed
+// offset holds.
+type KnownPeriodPattern struct {
+	Period  int
+	Symbols []int
+	Count   int
+	Support float64
+}
+
+// Render writes the pattern with '*' don't-cares.
+func (pt KnownPeriodPattern) Render(alpha *alphabet.Alphabet) string {
+	var b strings.Builder
+	for _, s := range pt.Symbols {
+		if s < 0 {
+			b.WriteByte('*')
+		} else {
+			b.WriteString(alpha.Symbol(s))
+		}
+	}
+	return b.String()
+}
+
+// HanMine mines partial periodic patterns for a known period p in the style
+// of Han, Dong and Yin (ICDE 1999): the series is cut into ⌊n/p⌋ full
+// occurrences, frequent single (symbol, offset) pairs seed an Apriori-pruned
+// depth-first enumeration, and a pattern is frequent when it holds in at
+// least minSup·⌊n/p⌋ occurrences. Note the counting model differs from the
+// convolution miner's Definition 1: occurrences are counted directly rather
+// than through consecutive-pair matches, which is exactly why these miners
+// need the period as an input parameter.
+func HanMine(s *series.Series, p int, minSup float64, maxPatterns int) []KnownPeriodPattern {
+	n := s.Len()
+	if p < 1 || p > n || minSup <= 0 || minSup > 1 {
+		return nil
+	}
+	total := n / p
+	if total < 1 {
+		return nil
+	}
+	sigma := s.Alphabet().Size()
+
+	// Occurrence sets per (offset, symbol): bit m set iff t_{mp+l} = s_k.
+	occ := make([][]*bitvec.Vector, p)
+	for l := 0; l < p; l++ {
+		occ[l] = make([]*bitvec.Vector, sigma)
+	}
+	for m := 0; m < total; m++ {
+		for l := 0; l < p; l++ {
+			k := s.At(m*p + l)
+			if occ[l][k] == nil {
+				occ[l][k] = bitvec.New(total)
+			}
+			occ[l][k].Set(m)
+		}
+	}
+
+	minCount := int(minSup * float64(total))
+	if float64(minCount) < minSup*float64(total) {
+		minCount++
+	}
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	// Frequent singles per offset.
+	type single struct {
+		symbol int
+		set    *bitvec.Vector
+	}
+	slots := make([][]single, p)
+	for l := 0; l < p; l++ {
+		for k := 0; k < sigma; k++ {
+			if occ[l][k] != nil && occ[l][k].Count() >= minCount {
+				slots[l] = append(slots[l], single{symbol: k, set: occ[l][k]})
+			}
+		}
+	}
+
+	var out []KnownPeriodPattern
+	symbols := make([]int, p)
+	for i := range symbols {
+		symbols[i] = -1
+	}
+	var walk func(l int, cur *bitvec.Vector, fixed int)
+	walk = func(l int, cur *bitvec.Vector, fixed int) {
+		if len(out) >= maxPatterns {
+			return
+		}
+		if cur != nil && cur.Count() < minCount {
+			return
+		}
+		if l == p {
+			if fixed >= 1 {
+				count := cur.Count()
+				syms := make([]int, p)
+				copy(syms, symbols)
+				out = append(out, KnownPeriodPattern{
+					Period: p, Symbols: syms, Count: count,
+					Support: float64(count) / float64(total),
+				})
+			}
+			return
+		}
+		walk(l+1, cur, fixed)
+		for _, sg := range slots[l] {
+			next := sg.set
+			if cur != nil {
+				next = cur.And(sg.set, nil)
+			}
+			symbols[l] = sg.symbol
+			walk(l+1, next, fixed+1)
+			symbols[l] = -1
+		}
+	}
+	walk(0, nil, 0)
+
+	sort.Slice(out, func(i, j int) bool {
+		fi, fj := fixedCount(out[i].Symbols), fixedCount(out[j].Symbols)
+		if fi != fj {
+			return fi < fj
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return lessInts(out[i].Symbols, out[j].Symbols)
+	})
+	return out
+}
+
+func fixedCount(symbols []int) int {
+	c := 0
+	for _, s := range symbols {
+		if s >= 0 {
+			c++
+		}
+	}
+	return c
+}
+
+func lessInts(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,173 @@
+package baseline
+
+import (
+	"sort"
+
+	"periodica/internal/series"
+)
+
+// MaxSubpatternMiner is the hit-set formulation of Han, Dong and Yin's
+// known-period partial-periodic-pattern miner (ICDE 1999): the first scan
+// finds the frequent single (offset, symbol) pairs and forms the candidate
+// max-pattern C_max; the second scan reduces every period segment to its
+// *hit* — the maximal subpattern of C_max it matches — and stores only the
+// distinct hits with counts. Every pattern frequency is then derived from
+// the hit set without touching the data again, which is the point of the
+// original max-subpattern tree; the hit multiset here is that tree's
+// information content in hash-map form.
+type MaxSubpatternMiner struct {
+	period   int
+	sigma    int
+	total    int
+	minCount int
+	// frequent[l][k] reports whether symbol k is frequent at offset l.
+	frequent [][]bool
+	// hits maps the canonical hit encoding to its segment count.
+	hits map[string]int
+}
+
+// NewMaxSubpatternMiner runs both scans over s for the given period and
+// minimum support. Returns nil for infeasible parameters (mirroring
+// HanMine).
+func NewMaxSubpatternMiner(s *series.Series, p int, minSup float64) *MaxSubpatternMiner {
+	n := s.Len()
+	if p < 1 || p > n || minSup <= 0 || minSup > 1 {
+		return nil
+	}
+	total := n / p
+	if total < 1 {
+		return nil
+	}
+	sigma := s.Alphabet().Size()
+	minCount := int(minSup * float64(total))
+	if float64(minCount) < minSup*float64(total) {
+		minCount++
+	}
+	if minCount < 1 {
+		minCount = 1
+	}
+	m := &MaxSubpatternMiner{period: p, sigma: sigma, total: total, minCount: minCount}
+
+	// Scan 1: frequent singles.
+	counts := make([][]int, p)
+	for l := range counts {
+		counts[l] = make([]int, sigma)
+	}
+	for seg := 0; seg < total; seg++ {
+		for l := 0; l < p; l++ {
+			counts[l][s.At(seg*p+l)]++
+		}
+	}
+	m.frequent = make([][]bool, p)
+	for l := 0; l < p; l++ {
+		m.frequent[l] = make([]bool, sigma)
+		for k := 0; k < sigma; k++ {
+			m.frequent[l][k] = counts[l][k] >= minCount
+		}
+	}
+
+	// Scan 2: reduce each segment to its hit against C_max and count
+	// distinct hits.
+	m.hits = make(map[string]int)
+	hit := make([]byte, p)
+	for seg := 0; seg < total; seg++ {
+		for l := 0; l < p; l++ {
+			k := s.At(seg*p + l)
+			if m.frequent[l][k] {
+				hit[l] = byte(k + 1)
+			} else {
+				hit[l] = 0
+			}
+		}
+		m.hits[string(hit)]++
+	}
+	return m
+}
+
+// DistinctHits returns the number of distinct hits stored — the compression
+// the structure achieves over the ⌊n/p⌋ segments.
+func (m *MaxSubpatternMiner) DistinctHits() int { return len(m.hits) }
+
+// Segments returns ⌊n/p⌋, the number of period segments scanned.
+func (m *MaxSubpatternMiner) Segments() int { return m.total }
+
+// Mine derives every frequent pattern (≥ 1 fixed offset) from the hit set
+// alone, depth-first with Apriori pruning; output matches HanMine.
+func (m *MaxSubpatternMiner) Mine(maxPatterns int) []KnownPeriodPattern {
+	if m == nil {
+		return nil
+	}
+	type hitEntry struct {
+		pattern string
+		count   int
+	}
+	all := make([]hitEntry, 0, len(m.hits))
+	for pat, c := range m.hits {
+		all = append(all, hitEntry{pat, c})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].pattern < all[j].pattern })
+
+	symbols := make([]int, m.period)
+	for i := range symbols {
+		symbols[i] = -1
+	}
+	var out []KnownPeriodPattern
+
+	// walk refines the set of compatible hits offset by offset.
+	var walk func(l int, compatible []hitEntry, fixed int)
+	walk = func(l int, compatible []hitEntry, fixed int) {
+		if len(out) >= maxPatterns {
+			return
+		}
+		count := 0
+		for _, h := range compatible {
+			count += h.count
+		}
+		if count < m.minCount {
+			return
+		}
+		if l == m.period {
+			if fixed >= 1 {
+				syms := make([]int, m.period)
+				copy(syms, symbols)
+				out = append(out, KnownPeriodPattern{
+					Period: m.period, Symbols: syms, Count: count,
+					Support: float64(count) / float64(m.total),
+				})
+			}
+			return
+		}
+		// Don't-care keeps every compatible hit.
+		walk(l+1, compatible, fixed)
+		for k := 0; k < m.sigma; k++ {
+			if !m.frequent[l][k] {
+				continue
+			}
+			var narrowed []hitEntry
+			for _, h := range compatible {
+				if h.pattern[l] == byte(k+1) {
+					narrowed = append(narrowed, h)
+				}
+			}
+			if len(narrowed) == 0 {
+				continue
+			}
+			symbols[l] = k
+			walk(l+1, narrowed, fixed+1)
+			symbols[l] = -1
+		}
+	}
+	walk(0, all, 0)
+
+	sort.Slice(out, func(i, j int) bool {
+		fi, fj := fixedCount(out[i].Symbols), fixedCount(out[j].Symbols)
+		if fi != fj {
+			return fi < fj
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return lessInts(out[i].Symbols, out[j].Symbols)
+	})
+	return out
+}

@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"periodica/internal/alphabet"
+	"periodica/internal/gen"
+	"periodica/internal/series"
+)
+
+func TestMaxSubpatternMatchesHanMine(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 12; trial++ {
+		n := rng.Intn(300) + 30
+		sigma := rng.Intn(3) + 2
+		p := rng.Intn(6) + 2
+		idx := make([]uint16, n)
+		for i := range idx {
+			idx[i] = uint16(rng.Intn(sigma))
+		}
+		s := series.FromIndices(alphabet.Letters(sigma), idx)
+		for _, minSup := range []float64{0.2, 0.5, 0.9} {
+			want := HanMine(s, p, minSup, 100000)
+			m := NewMaxSubpatternMiner(s, p, minSup)
+			var got []KnownPeriodPattern
+			if m != nil {
+				got = m.Mine(100000)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d σ=%d p=%d sup=%v:\n hit-set %v\n DFS     %v", n, sigma, p, minSup, got, want)
+			}
+		}
+	}
+}
+
+func TestMaxSubpatternCompressesRepetitiveData(t *testing.T) {
+	s, _, err := gen.Generate(gen.Config{Length: 5000, Period: 10, Sigma: 8, Dist: gen.Uniform,
+		Noise: gen.Replacement, NoiseRatio: 0.05, Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMaxSubpatternMiner(s, 10, 0.5)
+	if m == nil {
+		t.Fatal("miner not built")
+	}
+	if m.Segments() != 500 {
+		t.Fatalf("segments = %d, want 500", m.Segments())
+	}
+	// With 5% noise most segments reduce to the same hit; the structure must
+	// compress far below one entry per segment.
+	if m.DistinctHits() >= m.Segments()/2 {
+		t.Fatalf("distinct hits %d of %d segments — no compression", m.DistinctHits(), m.Segments())
+	}
+	pats := m.Mine(100000)
+	full := 0
+	for _, pt := range pats {
+		if fixedCount(pt.Symbols) == 10 {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Fatal("full-length embedded pattern not frequent at 50%")
+	}
+}
+
+func TestMaxSubpatternInvalidParams(t *testing.T) {
+	s := series.FromString("abcabc")
+	if NewMaxSubpatternMiner(s, 0, 0.5) != nil {
+		t.Fatal("p=0: want nil")
+	}
+	if NewMaxSubpatternMiner(s, 2, 0) != nil {
+		t.Fatal("minSup=0: want nil")
+	}
+	if NewMaxSubpatternMiner(s, 7, 0.5) != nil {
+		t.Fatal("p>n: want nil")
+	}
+	var m *MaxSubpatternMiner
+	if m.Mine(10) != nil {
+		t.Fatal("nil miner Mine: want nil")
+	}
+}
+
+func TestMaxSubpatternMaxPatterns(t *testing.T) {
+	s := series.FromString("abababababababab")
+	m := NewMaxSubpatternMiner(s, 2, 0.5)
+	if got := m.Mine(2); len(got) > 2 {
+		t.Fatalf("got %d patterns, want ≤ 2", len(got))
+	}
+}

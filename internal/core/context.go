@@ -1,0 +1,51 @@
+package core
+
+import (
+	"context"
+
+	"periodica/internal/series"
+)
+
+// MineContext is Mine with cooperative cancellation: the context is checked
+// periodically during detection (every 64 candidate periods) and once more
+// before pattern enumeration, so a cancelled or timed-out mine over a large
+// series returns promptly with the context's error. The pattern stage itself
+// runs to completion once started; bound it with MaxPatternPeriod and
+// MaxPatterns.
+func MineContext(ctx context.Context, s *series.Series, opt Options) (*Result, error) {
+	opt, err := opt.withDefaults(s.Len())
+	if err != nil {
+		return nil, err
+	}
+	eng := opt.Engine
+	if eng == EngineAuto {
+		if s.Len() >= 4096 {
+			eng = EngineFFT
+		} else {
+			eng = EngineNaive
+		}
+	}
+	det := newDetector(s, eng)
+	det.minPairs = opt.MinPairs
+	res := &Result{N: s.Len(), Sigma: s.Alphabet().Size(), Threshold: opt.Threshold}
+	periodSet := map[int]bool{}
+	for p := opt.MinPeriod; p <= opt.MaxPeriod; p++ {
+		if p%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		det.detect(p, opt.Threshold, func(sp SymbolPeriodicity) {
+			res.Periodicities = append(res.Periodicities, sp)
+			periodSet[p] = true
+		})
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	finishResult(res, periodSet)
+	if opt.MaxPatternPeriod >= 0 {
+		res.Patterns, res.PatternsTruncated = minePatterns(det, res.Periodicities, opt)
+	}
+	return res, ctx.Err()
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestMineContextMatchesMine(t *testing.T) {
+	s := randomSeries(131, 900, 4)
+	want, err := Mine(s, Options{Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MineContext(context.Background(), s, Options{Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("MineContext differs from Mine")
+	}
+}
+
+func TestMineContextCancelled(t *testing.T) {
+	s := randomSeries(132, 20000, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MineContext(ctx, s, Options{Threshold: 0.3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMineContextDeadline(t *testing.T) {
+	s := randomSeries(133, 60000, 8)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := MineContext(ctx, s, Options{Threshold: 0.2})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation not prompt")
+	}
+}
+
+func TestMineContextValidates(t *testing.T) {
+	s := randomSeries(134, 50, 3)
+	if _, err := MineContext(context.Background(), s, Options{Threshold: 0}); err == nil {
+		t.Fatal("ψ=0: want error")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"periodica/internal/conv"
+	"periodica/internal/series"
+)
+
+// CandidatePeriod is a period that survived the one-pass aggregate stage: at
+// least one symbol's total lag-p match count could reach the threshold at
+// some position.
+type CandidatePeriod struct {
+	Period     int
+	BestSymbol int   // symbol with the largest lag-p match count
+	MatchCount int64 // that symbol's lag-p match count
+}
+
+// DetectCandidates runs only the periodicity-detection phase of the
+// algorithm: one pass over the series builds the per-symbol indicators, one
+// FFT autocorrelation per symbol yields every lag's match counts, and each
+// period is kept iff some symbol passes the sound aggregate test
+// r_k(p) ≥ ψ·minPairs(p) (a necessary condition for Definition 1, since
+// F2(s_k, π_{p,l}) ≤ r_k(p) for every position l). Total cost O(σ n log n) —
+// the phase the paper's Fig. 5 times against the periodic-trends baseline,
+// whose output is likewise a set of candidate periods. Exact positions and
+// confidences for a candidate are resolved on demand with Mine over a
+// restricted period range, or Confidencer.
+func DetectCandidates(s *series.Series, psi float64, maxPeriod int) ([]CandidatePeriod, error) {
+	n := s.Len()
+	if psi <= 0 || psi > 1 {
+		return nil, fmt.Errorf("core: threshold ψ=%v outside (0,1]", psi)
+	}
+	if maxPeriod == 0 {
+		maxPeriod = n / 2
+	}
+	if maxPeriod < 1 || maxPeriod >= n {
+		return nil, fmt.Errorf("core: maxPeriod %d outside [1,%d)", maxPeriod, n)
+	}
+	lag := conv.LagMatchCounts(s)
+	var out []CandidatePeriod
+	for p := 1; p <= maxPeriod; p++ {
+		minPairs := pairsAt(n, p, p-1)
+		if pairsAt(n, p, 0) < 1 {
+			continue
+		}
+		if minPairs < 1 {
+			minPairs = 1
+		}
+		best, bestCount := -1, int64(0)
+		for k := range lag {
+			r := lag[k][p]
+			if float64(r) >= psi*float64(minPairs) && r > bestCount {
+				best, bestCount = k, r
+			}
+		}
+		if best >= 0 {
+			out = append(out, CandidatePeriod{Period: p, BestSymbol: best, MatchCount: bestCount})
+		}
+	}
+	return out, nil
+}
+
+// BestConfidences returns, for every period p in [1, maxPeriod], the maximum
+// Definition-1 confidence over all symbols and positions (index 0 unused;
+// maxPeriod 0 means n/2). Unlike Mine it materializes nothing per
+// periodicity, so it is the right tool for threshold sweeps like the paper's
+// Table 1, where loose thresholds admit millions of individual
+// periodicities.
+func BestConfidences(s *series.Series, maxPeriod int) ([]float64, error) {
+	n := s.Len()
+	if maxPeriod == 0 {
+		maxPeriod = n / 2
+	}
+	if maxPeriod < 1 || maxPeriod >= n {
+		return nil, fmt.Errorf("core: maxPeriod %d outside [1,%d)", maxPeriod, n)
+	}
+	det := newDetector(s, EngineBitset)
+	out := make([]float64, maxPeriod+1)
+	for p := 1; p <= maxPeriod; p++ {
+		best := 0.0
+		det.detect(p, 1e-9, func(sp SymbolPeriodicity) {
+			if sp.Confidence > best {
+				best = sp.Confidence
+			}
+		})
+		if best > 1 {
+			best = 1
+		}
+		out[p] = best
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"periodica/internal/fft"
+	"periodica/internal/series"
+)
+
+// ExternalConfig tunes the on-disk detection path.
+type ExternalConfig struct {
+	// TmpDir holds the per-symbol indicator and FFT scratch files; defaults
+	// to the input file's directory.
+	TmpDir string
+	// MemElements caps the complex values held in memory by the external
+	// FFT (default from fft.ExternalOptions).
+	MemElements int
+}
+
+// DetectCandidatesFile runs the one-pass detection phase over a series
+// stored on disk in the binary format of series.WriteBinary, without ever
+// loading the series or the FFT working arrays into memory: one streaming
+// pass splits the file into per-symbol indicator files, and each indicator
+// is autocorrelated with the external (four-step, out-of-core) FFT. This is
+// the paper's §3.1 remark — "an external FFT algorithm can be used for large
+// sizes of databases mined while on disk" — realized end to end.
+func DetectCandidatesFile(path string, psi float64, maxPeriod int, cfg ExternalConfig) ([]CandidatePeriod, error) {
+	if psi <= 0 || psi > 1 {
+		return nil, fmt.Errorf("core: threshold ψ=%v outside (0,1]", psi)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	var sigma, n int
+	if _, err := fmt.Sscanf(header, "PSER1 %d %d", &sigma, &n); err != nil {
+		return nil, fmt.Errorf("core: bad series header %q", header)
+	}
+	if sigma < 1 || n < 2 {
+		return nil, fmt.Errorf("core: bad series header σ=%d n=%d", sigma, n)
+	}
+	if maxPeriod == 0 {
+		maxPeriod = n / 2
+	}
+	if maxPeriod < 1 || maxPeriod >= n {
+		return nil, fmt.Errorf("core: maxPeriod %d outside [1,%d)", maxPeriod, n)
+	}
+
+	dir := cfg.TmpDir
+	if dir == "" {
+		dir = filepath.Dir(path)
+	}
+	work, err := os.MkdirTemp(dir, "periodica-ext-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(work)
+
+	// One pass: split the symbol stream into σ indicator files.
+	indicators := make([]*bufio.Writer, sigma)
+	files := make([]*os.File, sigma)
+	for k := range indicators {
+		files[k], err = os.Create(filepath.Join(work, fmt.Sprintf("ind-%d.bin", k)))
+		if err != nil {
+			return nil, err
+		}
+		indicators[k] = bufio.NewWriter(files[k])
+	}
+	buf := make([]byte, 64*1024)
+	read := 0
+	for read < n {
+		want := min(len(buf), n-read)
+		got, err := io.ReadFull(br, buf[:want])
+		if err != nil {
+			return nil, fmt.Errorf("core: truncated series body: %v", err)
+		}
+		for i := 0; i < got; i++ {
+			k := int(buf[i])
+			if k >= sigma {
+				return nil, fmt.Errorf("core: symbol byte %d at position %d exceeds σ=%d", buf[i], read+i, sigma)
+			}
+			for j := range indicators {
+				bit := byte(0)
+				if j == k {
+					bit = 1
+				}
+				if err := indicators[j].WriteByte(bit); err != nil {
+					return nil, err
+				}
+			}
+		}
+		read += got
+	}
+	for k := range indicators {
+		if err := indicators[k].Flush(); err != nil {
+			return nil, err
+		}
+		if err := files[k].Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Autocorrelate each indicator out of core and aggregate candidates.
+	opts := fft.ExternalOptions{TmpDir: work, MemElements: cfg.MemElements}
+	lag := make([][]int64, sigma)
+	for k := 0; k < sigma; k++ {
+		lag[k], err = fft.AutocorrelateFile(filepath.Join(work, fmt.Sprintf("ind-%d.bin", k)), n, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []CandidatePeriod
+	for p := 1; p <= maxPeriod; p++ {
+		minPairs := pairsAt(n, p, p-1)
+		if pairsAt(n, p, 0) < 1 {
+			continue
+		}
+		if minPairs < 1 {
+			minPairs = 1
+		}
+		best, bestCount := -1, int64(0)
+		for k := 0; k < sigma; k++ {
+			r := lag[k][p]
+			if float64(r) >= psi*float64(minPairs) && r > bestCount {
+				best, bestCount = k, r
+			}
+		}
+		if best >= 0 {
+			out = append(out, CandidatePeriod{Period: p, BestSymbol: best, MatchCount: bestCount})
+		}
+	}
+	return out, nil
+}
+
+// WriteSeriesFile stores s in the on-disk format DetectCandidatesFile
+// accepts.
+func WriteSeriesFile(path string, s *series.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return series.WriteBinary(f, s)
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+
+	"periodica/internal/alphabet"
+)
+
+// Interpretation settings for rendering periodicities the way the paper
+// narrates its Table 2 ("less than 200 transactions per hour occur in the
+// 7th hour of the day for 80% of the days").
+type Interpretation struct {
+	// LevelNames maps symbol indices to human meanings ("very low", "under
+	// 200 transactions", …). Optional; the symbol itself is used when
+	// absent.
+	LevelNames []string
+	// Unit is the timestamp unit ("hour", "day"); Cycle is the period's
+	// name when known ("day" for period 24 over hours). Optional.
+	Unit  string
+	Cycle string
+}
+
+// Describe renders one symbol periodicity as a sentence.
+func (it Interpretation) Describe(alpha *alphabet.Alphabet, sp SymbolPeriodicity) string {
+	level := alpha.Symbol(sp.Symbol)
+	if sp.Symbol < len(it.LevelNames) && it.LevelNames[sp.Symbol] != "" {
+		level = it.LevelNames[sp.Symbol]
+	}
+	unit := it.Unit
+	if unit == "" {
+		unit = "position"
+	}
+	cycle := it.Cycle
+	if cycle == "" {
+		cycle = fmt.Sprintf("%d-%s cycle", sp.Period, unit)
+	}
+	return fmt.Sprintf("%s occurs in %s %d of the %s for %.0f%% of the cycles",
+		level, unit, sp.Position, cycle, sp.Confidence*100)
+}
+
+func (sp SymbolPeriodicity) String() string {
+	return fmt.Sprintf("(s%d, p=%d, l=%d, %d/%d=%.2f)",
+		sp.Symbol, sp.Period, sp.Position, sp.F2, sp.Pairs, sp.Confidence)
+}

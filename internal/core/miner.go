@@ -1,0 +1,226 @@
+// Package core implements the paper's obscure-periodic-pattern mining
+// algorithm: symbol-periodicity detection for every candidate period in one
+// pass (Definition 1), periodic single-symbol patterns (Definition 2), and
+// multi-symbol candidate patterns with estimated support (Definition 3),
+// driven by the modified convolution of package conv.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"periodica/internal/series"
+)
+
+// Engine selects how the convolution components are evaluated.
+type Engine int
+
+const (
+	// EngineAuto picks EngineFFT for long series and EngineNaive for short
+	// ones.
+	EngineAuto Engine = iota
+	// EngineNaive scans the series once per candidate period. O(n²) overall;
+	// the ground-truth reference.
+	EngineNaive
+	// EngineBitset evaluates c′_p with word-parallel AND/shift over the
+	// mapped binary vector and prunes periods by match popcount.
+	EngineBitset
+	// EngineFFT computes all lag-match counts with one FFT autocorrelation
+	// per symbol (O(σ n log n)), prunes, and resolves phases only for
+	// surviving (period, symbol) pairs. This is the paper's algorithm.
+	EngineFFT
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineNaive:
+		return "naive"
+	case EngineBitset:
+		return "bitset"
+	case EngineFFT:
+		return "fft"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// Options configure Mine.
+type Options struct {
+	// Threshold is the periodicity threshold ψ ∈ (0,1] of Definition 1.
+	Threshold float64
+	// MinPeriod and MaxPeriod bound the candidate periods (inclusive).
+	// Defaults: 1 and n/2, the paper's loop bounds.
+	MinPeriod int
+	MaxPeriod int
+	// Engine selects the evaluation strategy; default EngineAuto.
+	Engine Engine
+	// MaxPatternPeriod caps the periods for which multi-symbol candidate
+	// patterns (Definition 3) are enumerated; single-symbol patterns are
+	// always produced. Default 128. Set negative to disable multi-symbol
+	// mining entirely.
+	MaxPatternPeriod int
+	// MaxPatterns caps the number of emitted multi-symbol patterns
+	// (enumeration stops once reached). Default 10000.
+	MaxPatterns int
+	// MinPairs requires a symbol periodicity's projection to contain at
+	// least this many consecutive slot pairs (the Definition-1
+	// denominator). The paper's semantics is 1, the default — but then a
+	// single match at a two-slot projection yields confidence 1, so large
+	// periods are never prunable; raising MinPairs demands statistical
+	// mass and lets the aggregate prune discard most (period, symbol)
+	// pairs.
+	MinPairs int
+}
+
+func (o Options) withDefaults(n int) (Options, error) {
+	if o.Threshold <= 0 || o.Threshold > 1 {
+		return o, fmt.Errorf("core: threshold ψ=%v outside (0,1]", o.Threshold)
+	}
+	if o.MinPeriod == 0 {
+		o.MinPeriod = 1
+	}
+	if o.MaxPeriod == 0 {
+		o.MaxPeriod = n / 2
+	}
+	if o.MinPeriod < 1 || o.MaxPeriod > n || o.MinPeriod > o.MaxPeriod {
+		return o, fmt.Errorf("core: invalid period range [%d,%d] for n=%d", o.MinPeriod, o.MaxPeriod, n)
+	}
+	if o.MaxPatternPeriod == 0 {
+		o.MaxPatternPeriod = 128
+	}
+	if o.MaxPatterns == 0 {
+		o.MaxPatterns = 10000
+	}
+	if o.MinPairs == 0 {
+		o.MinPairs = 1
+	}
+	if o.MinPairs < 1 {
+		return o, fmt.Errorf("core: MinPairs %d < 1", o.MinPairs)
+	}
+	return o, nil
+}
+
+// SymbolPeriodicity records that symbol Symbol is periodic with period Period
+// at position Position (Definition 1): F2 of Pairs consecutive projection
+// slots matched, for a confidence F2/Pairs ≥ ψ.
+type SymbolPeriodicity struct {
+	Symbol     int
+	Period     int
+	Position   int
+	F2         int
+	Pairs      int
+	Confidence float64
+}
+
+// Result is the output of Mine.
+type Result struct {
+	N             int
+	Sigma         int
+	Threshold     float64
+	Periodicities []SymbolPeriodicity
+	// Periods lists the distinct candidate period values, ascending
+	// (Table 1's "period values").
+	Periods []int
+	// SingleSymbol holds the periodic single-symbol patterns of
+	// Definition 2, one per periodicity.
+	SingleSymbol []Pattern
+	// Patterns holds multi-symbol candidate patterns (≥ 2 fixed symbols)
+	// whose estimated support reaches the threshold.
+	Patterns []Pattern
+	// PatternsTruncated reports that MaxPatterns stopped the enumeration.
+	PatternsTruncated bool
+}
+
+// pairsAt returns the Definition-1 denominator ⌈(n−l)/p⌉ − 1: the number of
+// consecutive slot pairs in π_{p,l}(T).
+func pairsAt(n, p, l int) int {
+	return (n-l+p-1)/p - 1
+}
+
+// Mine runs the full algorithm of Fig. 2 over s.
+func Mine(s *series.Series, opt Options) (*Result, error) {
+	opt, err := opt.withDefaults(s.Len())
+	if err != nil {
+		return nil, err
+	}
+	eng := opt.Engine
+	if eng == EngineAuto {
+		if s.Len() >= 4096 {
+			eng = EngineFFT
+		} else {
+			eng = EngineNaive
+		}
+	}
+
+	det := newDetector(s, eng)
+	det.minPairs = opt.MinPairs
+	res := &Result{N: s.Len(), Sigma: s.Alphabet().Size(), Threshold: opt.Threshold}
+	periodSet := map[int]bool{}
+	for p := opt.MinPeriod; p <= opt.MaxPeriod; p++ {
+		det.detect(p, opt.Threshold, func(sp SymbolPeriodicity) {
+			res.Periodicities = append(res.Periodicities, sp)
+			periodSet[p] = true
+		})
+	}
+	finishResult(res, periodSet)
+
+	if opt.MaxPatternPeriod >= 0 {
+		res.Patterns, res.PatternsTruncated = minePatterns(det, res.Periodicities, opt)
+	}
+	return res, nil
+}
+
+// finishResult sorts the collected periodicities, derives the period list,
+// and forms the Definition-2 single-symbol patterns.
+func finishResult(res *Result, periodSet map[int]bool) {
+	for p := range periodSet {
+		res.Periods = append(res.Periods, p)
+	}
+	sort.Ints(res.Periods)
+	sort.Slice(res.Periodicities, func(i, j int) bool {
+		a, b := res.Periodicities[i], res.Periodicities[j]
+		if a.Period != b.Period {
+			return a.Period < b.Period
+		}
+		if a.Position != b.Position {
+			return a.Position < b.Position
+		}
+		return a.Symbol < b.Symbol
+	})
+	for _, sp := range res.Periodicities {
+		res.SingleSymbol = append(res.SingleSymbol, singlePattern(sp))
+	}
+}
+
+// PeriodConfidence returns the minimum threshold ψ at which period p would be
+// detected: the maximum Definition-1 confidence over all symbols and
+// positions at period p. This is the "confidence" plotted in Figs. 3 and 6.
+func PeriodConfidence(s *series.Series, p int) float64 {
+	return NewConfidencer(s).At(p)
+}
+
+// Confidencer answers repeated period-confidence queries over one series,
+// reusing the mapped indicators across queries.
+type Confidencer struct {
+	det *detector
+}
+
+// NewConfidencer builds a Confidencer for s.
+func NewConfidencer(s *series.Series) *Confidencer {
+	return &Confidencer{det: newDetector(s, EngineBitset)}
+}
+
+// At returns the maximum Definition-1 confidence at period p.
+func (c *Confidencer) At(p int) float64 {
+	best := 0.0
+	c.det.detect(p, 1e-9, func(sp SymbolPeriodicity) {
+		if sp.Confidence > best {
+			best = sp.Confidence
+		}
+	})
+	if best > 1 {
+		best = 1
+	}
+	return best
+}

@@ -1,0 +1,122 @@
+package core
+
+import "fmt"
+
+// StreamCounter maintains the symbol periodicities of an unbounded stream
+// with memory independent of the stream length — the data-stream setting the
+// paper's introduction motivates. Only the last maxPeriod symbols are
+// retained (a ring buffer) together with the per-(symbol, period, position)
+// consecutive-match counts, so memory is O(σ·maxPeriod² + maxPeriod)
+// regardless of how many symbols have flowed past; each arriving symbol
+// costs O(maxPeriod). Unlike IncrementalMiner it cannot form multi-symbol
+// patterns (that requires the data), but its periodicity answers are
+// identical.
+type StreamCounter struct {
+	sigma     int
+	maxPeriod int
+	n         int
+	ring      []uint16
+	f2        [][][]int32
+}
+
+// NewStreamCounter returns a bounded-memory counter for a σ-symbol stream
+// tracking periods 1..maxPeriod.
+func NewStreamCounter(sigma, maxPeriod int) (*StreamCounter, error) {
+	if sigma < 1 {
+		return nil, fmt.Errorf("core: sigma %d < 1", sigma)
+	}
+	if maxPeriod < 1 {
+		return nil, fmt.Errorf("core: maxPeriod %d < 1", maxPeriod)
+	}
+	c := &StreamCounter{
+		sigma:     sigma,
+		maxPeriod: maxPeriod,
+		ring:      make([]uint16, maxPeriod),
+		f2:        make([][][]int32, sigma),
+	}
+	for k := range c.f2 {
+		c.f2[k] = make([][]int32, maxPeriod+1)
+	}
+	return c, nil
+}
+
+// Append ingests the next symbol index; O(maxPeriod).
+func (c *StreamCounter) Append(k int) error {
+	if k < 0 || k >= c.sigma {
+		return fmt.Errorf("core: symbol index %d out of range [0,%d)", k, c.sigma)
+	}
+	i := c.n
+	for p := 1; p <= c.maxPeriod && p <= i; p++ {
+		if int(c.ring[(i-p)%c.maxPeriod]) == k {
+			l := (i - p) % p
+			if c.f2[k][p] == nil {
+				c.f2[k][p] = make([]int32, p)
+			}
+			c.f2[k][p][l]++
+		}
+	}
+	c.ring[i%c.maxPeriod] = uint16(k)
+	c.n++
+	return nil
+}
+
+// Len returns the number of symbols seen.
+func (c *StreamCounter) Len() int { return c.n }
+
+// F2 returns the maintained count F2(s_k, π_{p,l}) for the stream so far.
+func (c *StreamCounter) F2(k, p, l int) int {
+	if p < 1 || p > c.maxPeriod || l < 0 || l >= p {
+		panic(fmt.Sprintf("core: F2(%d,%d,%d) outside tracked range", k, p, l))
+	}
+	if c.f2[k][p] == nil {
+		return 0
+	}
+	return int(c.f2[k][p][l])
+}
+
+// Periodicities returns the symbol periodicities of the stream seen so far
+// at threshold psi; identical to IncrementalMiner.Periodicities on the same
+// stream.
+func (c *StreamCounter) Periodicities(psi float64) ([]SymbolPeriodicity, error) {
+	if psi <= 0 || psi > 1 {
+		return nil, fmt.Errorf("core: threshold ψ=%v outside (0,1]", psi)
+	}
+	var out []SymbolPeriodicity
+	for p := 1; p <= c.maxPeriod && p < c.n; p++ {
+		for l := 0; l < p; l++ {
+			pairs := pairsAt(c.n, p, l)
+			if pairs < 1 {
+				continue
+			}
+			for k := 0; k < c.sigma; k++ {
+				if c.f2[k][p] == nil {
+					continue
+				}
+				f2 := int(c.f2[k][p][l])
+				if f2 == 0 {
+					continue
+				}
+				conf := float64(f2) / float64(pairs)
+				if conf >= psi {
+					out = append(out, SymbolPeriodicity{
+						Symbol: k, Period: p, Position: l,
+						F2: f2, Pairs: pairs, Confidence: conf,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// MemoryBytes estimates the counter's resident size, to document its
+// independence from the stream length.
+func (c *StreamCounter) MemoryBytes() int {
+	total := len(c.ring) * 2
+	for k := range c.f2 {
+		for p := range c.f2[k] {
+			total += len(c.f2[k][p]) * 4
+		}
+	}
+	return total
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"periodica/internal/alphabet"
+)
+
+func TestStreamCounterMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	alpha := alphabet.Letters(4)
+	inc, err := NewIncrementalMiner(alpha, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewStreamCounter(4, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		k := rng.Intn(4)
+		if err := inc.Append(k); err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Append(k); err != nil {
+			t.Fatal(err)
+		}
+		if i%100 == 50 {
+			a, err := inc.Periodicities(0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := sc.Periodicities(0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sortPers(a), sortPers(b)) {
+				t.Fatalf("at n=%d: bounded counter differs from incremental miner", i+1)
+			}
+		}
+	}
+}
+
+func TestStreamCounterBoundedMemory(t *testing.T) {
+	sc, err := NewStreamCounter(10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		_ = sc.Append(i % 10)
+	}
+	at2000 := sc.MemoryBytes()
+	for i := 0; i < 50000; i++ {
+		_ = sc.Append(i % 10)
+	}
+	if sc.MemoryBytes() != at2000 {
+		t.Fatalf("memory grew with stream length: %d → %d bytes", at2000, sc.MemoryBytes())
+	}
+	if sc.Len() != 52000 {
+		t.Fatalf("Len = %d", sc.Len())
+	}
+}
+
+func TestStreamCounterF2Exact(t *testing.T) {
+	sc, _ := NewStreamCounter(3, 5)
+	for _, r := range "abcabbabcb" {
+		if err := sc.Append(int(r - 'a')); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sc.F2(0, 3, 0); got != 2 {
+		t.Fatalf("F2(a,3,0) = %d, want 2", got)
+	}
+	if got := sc.F2(1, 4, 1); got != 2 {
+		t.Fatalf("F2(b,4,1) = %d, want 2", got)
+	}
+}
+
+func TestStreamCounterValidates(t *testing.T) {
+	if _, err := NewStreamCounter(0, 5); err == nil {
+		t.Fatal("sigma 0: want error")
+	}
+	if _, err := NewStreamCounter(2, 0); err == nil {
+		t.Fatal("maxPeriod 0: want error")
+	}
+	sc, _ := NewStreamCounter(2, 5)
+	if err := sc.Append(9); err == nil {
+		t.Fatal("bad symbol: want error")
+	}
+	if _, err := sc.Periodicities(0); err == nil {
+		t.Fatal("ψ=0: want error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("F2 out of range: want panic")
+		}
+	}()
+	sc.F2(0, 9, 0)
+}

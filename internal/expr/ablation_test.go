@@ -1,0 +1,72 @@
+package expr
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEngineAblationShape(t *testing.T) {
+	rows, err := EngineAblation([]int{1000, 2000}, 0.7, 1500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if math.IsNaN(rows[0].NaiveSecs) {
+		t.Fatal("naive skipped below the limit")
+	}
+	if !math.IsNaN(rows[1].NaiveSecs) {
+		t.Fatal("naive not skipped above the limit")
+	}
+	for _, r := range rows {
+		if r.BitsetSecs <= 0 || r.FFTSecs <= 0 || r.ParallelSecs <= 0 {
+			t.Fatalf("non-positive timing: %+v", r)
+		}
+	}
+	var b strings.Builder
+	RenderEngineAblation(&b, "t", rows)
+	if !strings.Contains(b.String(), "bitset") || !strings.Contains(b.String(), "-") {
+		t.Fatalf("render: %s", b.String())
+	}
+}
+
+func TestSketchAblationErrorDecays(t *testing.T) {
+	rows, err := SketchAblation(4096, []int{2, 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].MeanRelErr >= rows[0].MeanRelErr {
+		t.Fatalf("sketch error did not decay with repetitions: %+v", rows)
+	}
+	var b strings.Builder
+	RenderSketchAblation(&b, "t", rows)
+	if !strings.Contains(b.String(), "%") {
+		t.Fatalf("render: %s", b.String())
+	}
+}
+
+func TestPruneAblationMinPairsBites(t *testing.T) {
+	rows, err := PruneAblation(4096, []int{60}, []int{1, 16}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Survivors >= rows[0].Survivors {
+		t.Fatalf("MinPairs=16 did not prune more than MinPairs=1: %+v", rows)
+	}
+	if rows[0].Total != rows[1].Total {
+		t.Fatal("totals differ across MinPairs")
+	}
+	var b strings.Builder
+	RenderPruneAblation(&b, "t", rows)
+	if !strings.Contains(b.String(), "survivors") {
+		t.Fatalf("render: %s", b.String())
+	}
+}

@@ -1,0 +1,230 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"periodica/internal/baseline"
+	"periodica/internal/core"
+	"periodica/internal/eval"
+	"periodica/internal/gen"
+	"periodica/internal/periodogram"
+	"periodica/internal/series"
+	"periodica/internal/trends"
+)
+
+// QualityConfig drives the cross-method detection-quality study (an
+// evaluation beyond the paper's: hit rates of the true period per method
+// under increasing noise).
+type QualityConfig struct {
+	Length int
+	Period int
+	Sigma  int
+	Ratios []float64 // replacement-noise ratios
+	Runs   int
+	TopK   int // ranked-list depth scored
+	Seed   int64
+}
+
+func (c QualityConfig) withDefaults() QualityConfig {
+	if c.Length == 0 {
+		c.Length = 8000
+	}
+	if c.Period == 0 {
+		c.Period = 25
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 10
+	}
+	if len(c.Ratios) == 0 {
+		c.Ratios = []float64{0.1, 0.3, 0.5}
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+	if c.TopK == 0 {
+		c.TopK = 10
+	}
+	return c
+}
+
+// QualityRow reports one method at one noise ratio, averaged over runs.
+type QualityRow struct {
+	Method    string
+	Noise     gen.Noise
+	Ratio     float64
+	HitAtK    float64 // fraction of runs where a multiple of P ranks in top K
+	ExactAtK  float64 // fraction of runs where P itself ranks in top K
+	MeanRank  float64 // mean 1-based rank of the first multiple (misses count as K+1)
+	ExactRank float64 // mean 1-based rank of P itself (misses count as K+1)
+}
+
+// ranker produces a ranked period list (best first) for one series.
+type ranker func(s *series.Series) ([]int, error)
+
+// Quality runs every detector over the same noisy series and scores the
+// rank of the true period (or a multiple) in each method's candidate list.
+func Quality(cfg QualityConfig) ([]QualityRow, error) {
+	cfg = cfg.withDefaults()
+	methods := []struct {
+		name string
+		rank ranker
+	}{
+		{"miner (p-value)", rankMiner},
+		{"trends (sketch)", rankTrends(cfg.Seed)},
+		{"periodogram", rankPeriodogram},
+		{"ma-hellerstein", rankMaHellerstein},
+	}
+	regimes := []struct {
+		noise gen.Noise
+		ratio float64
+	}{}
+	for _, ratio := range cfg.Ratios {
+		regimes = append(regimes, struct {
+			noise gen.Noise
+			ratio float64
+		}{gen.Replacement, ratio})
+	}
+	// One insertion+deletion regime: alignment-destroying noise, where every
+	// detector struggles.
+	regimes = append(regimes, struct {
+		noise gen.Noise
+		ratio float64
+	}{gen.Insertion | gen.Deletion, 0.05})
+
+	var out []QualityRow
+	for _, method := range methods {
+		for _, regime := range regimes {
+			hits, exact, rankSum, exactSum := 0, 0, 0, 0
+			for run := 0; run < cfg.Runs; run++ {
+				s, _, err := gen.Generate(gen.Config{
+					Length: cfg.Length, Period: cfg.Period, Sigma: cfg.Sigma, Dist: gen.Uniform,
+					Noise: regime.noise, NoiseRatio: regime.ratio,
+					Seed: cfg.Seed + int64(run)*31337,
+				})
+				if err != nil {
+					return nil, err
+				}
+				ranked, err := method.rank(s)
+				if err != nil {
+					return nil, err
+				}
+				if len(ranked) > cfg.TopK {
+					ranked = ranked[:cfg.TopK]
+				}
+				if r := eval.RankOfTrue(ranked, cfg.Period); r > 0 {
+					hits++
+					rankSum += r
+				} else {
+					rankSum += cfg.TopK + 1
+				}
+				er := 0
+				for i, p := range ranked {
+					if p == cfg.Period {
+						er = i + 1
+						break
+					}
+				}
+				if er > 0 {
+					exact++
+					exactSum += er
+				} else {
+					exactSum += cfg.TopK + 1
+				}
+			}
+			out = append(out, QualityRow{
+				Method:    method.name,
+				Noise:     regime.noise,
+				Ratio:     regime.ratio,
+				HitAtK:    float64(hits) / float64(cfg.Runs),
+				ExactAtK:  float64(exact) / float64(cfg.Runs),
+				MeanRank:  float64(rankSum) / float64(cfg.Runs),
+				ExactRank: float64(exactSum) / float64(cfg.Runs),
+			})
+		}
+	}
+	return out, nil
+}
+
+// rankMiner orders periods by the strength of their most significant
+// periodicity (minimum binomial p-value), ties to the smaller period.
+func rankMiner(s *series.Series) ([]int, error) {
+	pvals, err := core.PeriodPValues(s, 0)
+	if err != nil {
+		return nil, err
+	}
+	periods := make([]int, 0, len(pvals)-1)
+	for p := 1; p < len(pvals); p++ {
+		periods = append(periods, p)
+	}
+	sort.SliceStable(periods, func(i, j int) bool {
+		return pvals[periods[i]] < pvals[periods[j]]
+	})
+	return periods, nil
+}
+
+func rankTrends(seed int64) ranker {
+	return func(s *series.Series) ([]int, error) {
+		r, err := trends.Sketched(s, 0, 0, seed)
+		if err != nil {
+			return nil, err
+		}
+		return r.Candidates(), nil
+	}
+}
+
+func rankPeriodogram(s *series.Series) ([]int, error) {
+	cands, err := periodogram.Detect(s, periodogram.Config{PowerFactor: 2, TopK: 100})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.Period
+	}
+	return out, nil
+}
+
+func rankMaHellerstein(s *series.Series) ([]int, error) {
+	cands := baseline.MaHellerstein(s, baseline.MHConfig{})
+	type scored struct {
+		period int
+		score  float64
+	}
+	best := map[int]float64{}
+	for _, list := range cands {
+		for _, ps := range list {
+			if ps.Score > best[ps.Period] {
+				best[ps.Period] = ps.Score
+			}
+		}
+	}
+	var all []scored
+	for p, sc := range best {
+		all = append(all, scored{p, sc})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].period < all[j].period
+	})
+	out := make([]int, len(all))
+	for i, sc := range all {
+		out[i] = sc.period
+	}
+	return out, nil
+}
+
+// RenderQuality prints the cross-method rows grouped by method.
+func RenderQuality(w io.Writer, title string, rows []QualityRow, topK int) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-18s  %-10s  %8s  %9s  %10s  %10s\n", "method", "noise",
+		fmt.Sprintf("hit@%d", topK), fmt.Sprintf("exact@%d", topK), "mean rank", "exact rank")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s  %-10s  %8.2f  %9.2f  %10.1f  %10.1f\n",
+			r.Method, fmt.Sprintf("%s %.0f%%", r.Noise, r.Ratio*100),
+			r.HitAtK, r.ExactAtK, r.MeanRank, r.ExactRank)
+	}
+}

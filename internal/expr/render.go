@@ -1,0 +1,127 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RenderCorrectness writes the Fig. 3 / Fig. 4 points as one curve per
+// (distribution, period) with a column per multiple of P.
+func RenderCorrectness(w io.Writer, title string, points []CorrectnessPoint) {
+	fmt.Fprintf(w, "%s\n", title)
+	type key struct {
+		dist   string
+		period int
+	}
+	curves := map[key]map[int]float64{}
+	var keys []key
+	var mults []int
+	seenMult := map[int]bool{}
+	for _, pt := range points {
+		k := key{pt.Dist.String(), pt.Period}
+		if curves[k] == nil {
+			curves[k] = map[int]float64{}
+			keys = append(keys, k)
+		}
+		curves[k][pt.Multiple] = pt.Confidence
+		if !seenMult[pt.Multiple] {
+			seenMult[pt.Multiple] = true
+			mults = append(mults, pt.Multiple)
+		}
+	}
+	sort.Ints(mults)
+	fmt.Fprintf(w, "%-12s", "curve")
+	for _, m := range mults {
+		fmt.Fprintf(w, "  %6s", fmt.Sprintf("%dP", m))
+	}
+	fmt.Fprintln(w)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%-12s", fmt.Sprintf("%s, P=%d", k.dist, k.period))
+		for _, m := range mults {
+			fmt.Fprintf(w, "  %6.3f", curves[k][m])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderNoise writes the Fig. 6 sweep as one row per noise mixture with a
+// column per ratio.
+func RenderNoise(w io.Writer, title string, points []NoisePoint) {
+	fmt.Fprintf(w, "%s\n", title)
+	var ratios []float64
+	seen := map[float64]bool{}
+	rows := map[string]map[float64]float64{}
+	var order []string
+	for _, pt := range points {
+		if !seen[pt.Ratio] {
+			seen[pt.Ratio] = true
+			ratios = append(ratios, pt.Ratio)
+		}
+		k := pt.Kind.String()
+		if rows[k] == nil {
+			rows[k] = map[float64]float64{}
+			order = append(order, k)
+		}
+		rows[k][pt.Ratio] = pt.Confidence
+	}
+	sort.Float64s(ratios)
+	fmt.Fprintf(w, "%-8s", "noise")
+	for _, r := range ratios {
+		fmt.Fprintf(w, "  %6.0f%%", r*100)
+	}
+	fmt.Fprintln(w)
+	for _, k := range order {
+		fmt.Fprintf(w, "%-8s", k)
+		for _, r := range ratios {
+			fmt.Fprintf(w, "  %7.3f", rows[k][r])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderTiming writes the Fig. 5 points (log-log in the paper; plain columns
+// here).
+func RenderTiming(w io.Writer, title string, points []TimingPoint) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%12s  %14s  %14s  %8s\n", "n (symbols)", "miner (s)", "trends (s)", "speedup")
+	for _, pt := range points {
+		speedup := 0.0
+		if pt.MinerSecs > 0 {
+			speedup = pt.TrendsSecs / pt.MinerSecs
+		}
+		fmt.Fprintf(w, "%12d  %14.4f  %14.4f  %7.2fx\n", pt.N, pt.MinerSecs, pt.TrendsSecs, speedup)
+	}
+}
+
+// RenderPeriodTable writes Table 1 rows.
+func RenderPeriodTable(w io.Writer, title string, rows []PeriodRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%10s  %9s  %s\n", "threshold", "# periods", "some periods")
+	for _, row := range rows {
+		var sample []string
+		for _, p := range row.Sample {
+			sample = append(sample, fmt.Sprintf("%d", p))
+		}
+		fmt.Fprintf(w, "%9d%%  %9d  %s\n", row.ThresholdPct, row.NumPeriods, strings.Join(sample, ", "))
+	}
+}
+
+// RenderSinglePatternTable writes Table 2 rows.
+func RenderSinglePatternTable(w io.Writer, title string, rows []SinglePatternRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%10s  %10s  %s\n", "threshold", "# patterns", "patterns")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%9d%%  %10d  %s\n", row.ThresholdPct, len(row.Patterns), strings.Join(row.Patterns, " "))
+	}
+}
+
+// RenderPatternTable writes Table 3 rows.
+func RenderPatternTable(w io.Writer, title string, rows []PatternRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-32s  %s\n", "periodic pattern", "support")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-32s  %6.2f%%\n", row.Pattern, row.SupportPct)
+	}
+}

@@ -1,0 +1,87 @@
+package fft
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func benchData(n int) []complex128 {
+	rng := rand.New(rand.NewSource(1))
+	return randComplex(rng, n)
+}
+
+func BenchmarkForward(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 14, 1 << 18} {
+		data := benchData(n)
+		work := make([]complex128, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(work, data)
+				Forward(work)
+			}
+		})
+	}
+}
+
+func BenchmarkConvolve(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 14} {
+		rng := rand.New(rand.NewSource(2))
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i], y[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Convolve(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkAutocorrelateCounts(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16} {
+		rng := rand.New(rand.NewSource(3))
+		x := make([]float64, n)
+		for i := range x {
+			if rng.Intn(4) == 0 {
+				x[i] = 1
+			}
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				AutocorrelateCounts(x)
+			}
+		})
+	}
+}
+
+// BenchmarkExternalVsInMemory quantifies the out-of-core transform's
+// overhead against the in-memory FFT at equal sizes.
+func BenchmarkExternalVsInMemory(b *testing.B) {
+	n := 1 << 14
+	data := benchData(n)
+	b.Run("in-memory", func(b *testing.B) {
+		work := make([]complex128, n)
+		for i := 0; i < b.N; i++ {
+			copy(work, data)
+			Forward(work)
+		}
+	})
+	b.Run("external", func(b *testing.B) {
+		dir := b.TempDir()
+		path := filepath.Join(dir, "data.cpx")
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if err := WriteComplexFile(path, data); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if err := TransformFile(path, n, false, ExternalOptions{TmpDir: dir}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,350 @@
+// External (out-of-core) FFT via the four-step decomposition: a length-N
+// transform, N = R·C, becomes R-point FFTs over columns, a twiddle pass, and
+// C-point FFTs over rows, glued by blocked on-disk transposes. Only
+// O(√N + tile²) elements are resident at a time, which is the paper's route
+// (its reference [19]) to running the convolution over databases that do not
+// fit in memory.
+package fft
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+const complexBytes = 16
+
+// ExternalOptions tune the out-of-core transform.
+type ExternalOptions struct {
+	// TmpDir holds the scratch transpose file; defaults to the data file's
+	// directory.
+	TmpDir string
+	// MemElements caps the number of complex values held in memory at once
+	// (minimum 4·√N; default 1<<20 ≈ 16 MiB).
+	MemElements int
+}
+
+func (o ExternalOptions) withDefaults() ExternalOptions {
+	if o.MemElements == 0 {
+		o.MemElements = 1 << 20
+	}
+	return o
+}
+
+// TransformFile runs an in-place forward or inverse DFT over a file of n
+// little-endian complex128 values (16 bytes each: real, imaginary). n must be
+// a power of two ≥ 4.
+func TransformFile(path string, n int, inverse bool, opts ExternalOptions) error {
+	opts = opts.withDefaults()
+	if !IsPow2(n) || n < 4 {
+		return fmt.Errorf("fft: external transform needs a power-of-two length ≥ 4, got %d", n)
+	}
+	// Split N = R·C with R ≤ C, both powers of two.
+	r := 1 << (uint(log2(n)) / 2)
+	c := n / r
+	if opts.MemElements < 4*c {
+		return fmt.Errorf("fft: MemElements %d too small for n=%d (need ≥ %d)", opts.MemElements, n, 4*c)
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := checkSize(f, n); err != nil {
+		return err
+	}
+
+	dir := opts.TmpDir
+	if dir == "" {
+		dir = filepath.Dir(path)
+	}
+	scratch, err := os.CreateTemp(dir, "fft-scratch-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(scratch.Name())
+	defer scratch.Close()
+	if err := scratch.Truncate(int64(n) * complexBytes); err != nil {
+		return err
+	}
+
+	tile := tileSize(opts.MemElements)
+
+	// Step 1: transpose R×C → C×R so each original column is a contiguous
+	// row of length R.
+	if err := transpose(f, scratch, r, c, tile); err != nil {
+		return err
+	}
+	// Step 2: FFT each length-R row and apply the twiddle w_N^{s·c}, where
+	// the row index is c and the in-row index is s.
+	if err := rowPass(scratch, c, r, inverse, n, opts.MemElements); err != nil {
+		return err
+	}
+	// Step 3: transpose back C×R → R×C.
+	if err := transpose(scratch, f, c, r, tile); err != nil {
+		return err
+	}
+	// Step 4: FFT each length-C row (no twiddle).
+	if err := rowPass(f, r, c, inverse, 0, opts.MemElements); err != nil {
+		return err
+	}
+	// Step 5: transpose R×C → C×R; reading the result row-major yields the
+	// transform in natural order.
+	if err := transpose(f, scratch, r, c, tile); err != nil {
+		return err
+	}
+	return copyFile(scratch, f, n)
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	return k
+}
+
+func tileSize(memElements int) int {
+	t := 1
+	for (t*2)*(t*2) <= memElements/2 {
+		t *= 2
+	}
+	return t
+}
+
+func checkSize(f *os.File, n int) error {
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() != int64(n)*complexBytes {
+		return fmt.Errorf("fft: file holds %d bytes, want %d for n=%d", st.Size(), int64(n)*complexBytes, n)
+	}
+	return nil
+}
+
+// transpose writes the transpose of the rows×cols matrix in src to dst,
+// tile by tile.
+func transpose(src, dst *os.File, rows, cols, tile int) error {
+	buf := make([]complex128, tile*tile)
+	out := make([]complex128, tile*tile)
+	for r0 := 0; r0 < rows; r0 += tile {
+		rh := min(tile, rows-r0)
+		for c0 := 0; c0 < cols; c0 += tile {
+			cw := min(tile, cols-c0)
+			for i := 0; i < rh; i++ {
+				off := int64((r0+i)*cols+c0) * complexBytes
+				if err := readComplex(src, off, buf[i*cw:(i+1)*cw]); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < rh; i++ {
+				for j := 0; j < cw; j++ {
+					out[j*rh+i] = buf[i*cw+j]
+				}
+			}
+			for j := 0; j < cw; j++ {
+				off := int64((c0+j)*rows+r0) * complexBytes
+				if err := writeComplex(dst, off, out[j*rh:(j+1)*rh]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// rowPass FFTs every length-rowLen row of the rows×rowLen matrix in f,
+// batching as many rows as fit in memory. When twiddleN > 0, element s of
+// row c is multiplied by w_twiddleN^{s·c} (conjugated for inverse
+// transforms) after the FFT.
+func rowPass(f *os.File, rows, rowLen int, inverse bool, twiddleN, memElements int) error {
+	batch := max(1, memElements/(2*rowLen))
+	buf := make([]complex128, batch*rowLen)
+	for r0 := 0; r0 < rows; r0 += batch {
+		rh := min(batch, rows-r0)
+		chunk := buf[:rh*rowLen]
+		off := int64(r0*rowLen) * complexBytes
+		if err := readComplex(f, off, chunk); err != nil {
+			return err
+		}
+		for i := 0; i < rh; i++ {
+			row := chunk[i*rowLen : (i+1)*rowLen]
+			if inverse {
+				Inverse(row)
+			} else {
+				Forward(row)
+			}
+			if twiddleN > 0 {
+				c := r0 + i
+				applyTwiddle(row, c, twiddleN, inverse)
+			}
+		}
+		if err := writeComplex(f, off, chunk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func applyTwiddle(row []complex128, c, n int, inverse bool) {
+	ang := -2 * math.Pi * float64(c) / float64(n)
+	if inverse {
+		ang = -ang
+	}
+	step := complex(math.Cos(ang), math.Sin(ang))
+	w := complex(1, 0)
+	for s := range row {
+		row[s] *= w
+		w *= step
+	}
+}
+
+func readComplex(f *os.File, off int64, dst []complex128) error {
+	raw := make([]byte, len(dst)*complexBytes)
+	if _, err := f.ReadAt(raw, off); err != nil {
+		return err
+	}
+	for i := range dst {
+		re := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*16:]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*16+8:]))
+		dst[i] = complex(re, im)
+	}
+	return nil
+}
+
+func writeComplex(f *os.File, off int64, src []complex128) error {
+	raw := make([]byte, len(src)*complexBytes)
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(raw[i*16:], math.Float64bits(real(v)))
+		binary.LittleEndian.PutUint64(raw[i*16+8:], math.Float64bits(imag(v)))
+	}
+	_, err := f.WriteAt(raw, off)
+	return err
+}
+
+func copyFile(src, dst *os.File, n int) error {
+	if _, err := src.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := dst.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	_, err := io.CopyN(dst, src, int64(n)*complexBytes)
+	return err
+}
+
+// WriteComplexFile writes values as a complex file TransformFile accepts.
+func WriteComplexFile(path string, values []complex128) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return writeComplex(f, 0, values)
+}
+
+// ReadComplexFile reads n complex values from a file written by
+// WriteComplexFile or produced by TransformFile.
+func ReadComplexFile(path string, n int) ([]complex128, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make([]complex128, n)
+	if err := readComplex(f, 0, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AutocorrelateFile computes the lag-match counts r[p] = Σ_i x_i·x_{i+p} of
+// a 0/1 indicator stored on disk (one byte per position, values 0 or 1),
+// running the convolution entirely through the external FFT: the padded
+// complex working arrays — 32× the input size — never reside in memory.
+func AutocorrelateFile(indicatorPath string, n int, opts ExternalOptions) ([]int64, error) {
+	opts = opts.withDefaults()
+	in, err := os.Open(indicatorPath)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+
+	m := NextPow2(2 * n)
+	if m < 4 {
+		m = 4
+	}
+	dir := opts.TmpDir
+	if dir == "" {
+		dir = filepath.Dir(indicatorPath)
+	}
+	work, err := os.CreateTemp(dir, "fft-work-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(work.Name())
+	defer work.Close()
+	if err := work.Truncate(int64(m) * complexBytes); err != nil {
+		return nil, err
+	}
+
+	// Stream the indicator bytes into the zero-padded complex file.
+	const chunk = 1 << 16
+	raw := make([]byte, chunk)
+	vals := make([]complex128, chunk)
+	for off := 0; off < n; off += chunk {
+		want := min(chunk, n-off)
+		if _, err := io.ReadFull(in, raw[:want]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < want; i++ {
+			if raw[i] != 0 {
+				vals[i] = 1
+			} else {
+				vals[i] = 0
+			}
+		}
+		if err := writeComplex(work, int64(off)*complexBytes, vals[:want]); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := TransformFile(work.Name(), m, false, opts); err != nil {
+		return nil, err
+	}
+	// Pointwise |X|² (= conj(X)·X), streamed.
+	batch := make([]complex128, min(m, chunk))
+	for off := 0; off < m; off += len(batch) {
+		want := min(len(batch), m-off)
+		if err := readComplex(work, int64(off)*complexBytes, batch[:want]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < want; i++ {
+			re, im := real(batch[i]), imag(batch[i])
+			batch[i] = complex(re*re+im*im, 0)
+		}
+		if err := writeComplex(work, int64(off)*complexBytes, batch[:want]); err != nil {
+			return nil, err
+		}
+	}
+	if err := TransformFile(work.Name(), m, true, opts); err != nil {
+		return nil, err
+	}
+
+	out := make([]int64, n)
+	for off := 0; off < n; off += len(batch) {
+		want := min(len(batch), n-off)
+		if err := readComplex(work, int64(off)*complexBytes, batch[:want]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < want; i++ {
+			out[off+i] = int64(math.Round(real(batch[i])))
+		}
+	}
+	return out, nil
+}

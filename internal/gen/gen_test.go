@@ -1,0 +1,229 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"periodica/internal/core"
+)
+
+func TestGenerateInerrantIsPerfectlyPeriodic(t *testing.T) {
+	s, pattern, err := Generate(Config{Length: 1000, Period: 25, Sigma: 10, Dist: Uniform, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", s.Len())
+	}
+	if len(pattern) != 25 {
+		t.Fatalf("pattern length %d, want 25", len(pattern))
+	}
+	for i := 0; i < s.Len(); i++ {
+		if uint16(s.At(i)) != pattern[i%25] {
+			t.Fatalf("position %d deviates from pattern", i)
+		}
+	}
+}
+
+func TestInerrantConfidenceIsOne(t *testing.T) {
+	// Fig. 3(a): inerrant data must be detected with the highest possible
+	// confidence at P and its multiples.
+	for _, dist := range []Distribution{Uniform, Normal} {
+		for _, p := range []int{25, 32} {
+			s, _, err := Generate(Config{Length: 2000, Period: p, Sigma: 10, Dist: dist, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for mult := 1; mult <= 3; mult++ {
+				if conf := core.PeriodConfidence(s, p*mult); conf != 1 {
+					t.Fatalf("%v P=%d: confidence at %dP = %v, want 1", dist, p, mult, conf)
+				}
+			}
+		}
+	}
+}
+
+func TestReplacementNoiseLowersButKeepsConfidence(t *testing.T) {
+	s, _, err := Generate(Config{Length: 5000, Period: 25, Sigma: 10, Dist: Uniform,
+		Noise: Replacement, NoiseRatio: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := core.PeriodConfidence(s, 25)
+	if conf >= 1 {
+		t.Fatalf("confidence %v not reduced by 20%% replacement noise", conf)
+	}
+	if conf < 0.5 {
+		t.Fatalf("confidence %v collapsed under 20%% replacement noise", conf)
+	}
+}
+
+func TestDeletionKeepsLength(t *testing.T) {
+	s, _, err := Generate(Config{Length: 3000, Period: 32, Sigma: 10, Dist: Normal,
+		Noise: Deletion, NoiseRatio: 0.3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3000 {
+		t.Fatalf("Len = %d, want 3000 after deletions", s.Len())
+	}
+}
+
+func TestInsertionKeepsLength(t *testing.T) {
+	s, _, err := Generate(Config{Length: 3000, Period: 32, Sigma: 10, Dist: Uniform,
+		Noise: Insertion, NoiseRatio: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3000 {
+		t.Fatalf("Len = %d, want 3000 after insertions", s.Len())
+	}
+}
+
+func TestMixedNoiseKeepsLength(t *testing.T) {
+	s, _, err := Generate(Config{Length: 2000, Period: 25, Sigma: 10, Dist: Uniform,
+		Noise: Replacement | Insertion | Deletion, NoiseRatio: 0.4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2000 {
+		t.Fatalf("Len = %d, want 2000 after mixed noise", s.Len())
+	}
+}
+
+func TestNoiseString(t *testing.T) {
+	cases := map[Noise]string{
+		0:                                  "none",
+		Replacement:                        "R",
+		Insertion:                          "I",
+		Deletion:                           "D",
+		Replacement | Insertion:            "R+I",
+		Replacement | Deletion:             "R+D",
+		Insertion | Deletion:               "I+D",
+		Replacement | Insertion | Deletion: "R+I+D",
+	}
+	for no, want := range cases {
+		if got := no.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", no, got, want)
+		}
+	}
+}
+
+func TestParseNoise(t *testing.T) {
+	good := map[string]Noise{
+		"":      0,
+		"R":     Replacement,
+		"i":     Insertion,
+		"d":     Deletion,
+		"R+I":   Replacement | Insertion,
+		"r+i+d": Replacement | Insertion | Deletion,
+		" I+D ": Insertion | Deletion,
+	}
+	for spec, want := range good {
+		got, err := ParseNoise(spec)
+		if err != nil || got != want {
+			t.Errorf("ParseNoise(%q) = %v, %v; want %v", spec, got, err, want)
+		}
+	}
+	for _, bad := range []string{"X", "R+Q", "R,I"} {
+		if _, err := ParseNoise(bad); err == nil {
+			t.Errorf("ParseNoise(%q): want error", bad)
+		}
+	}
+}
+
+func TestNoiseKinds(t *testing.T) {
+	k := (Replacement | Deletion).Kinds()
+	if len(k) != 2 || k[0] != Replacement || k[1] != Deletion {
+		t.Fatalf("Kinds = %v", k)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Uniform.String() != "U" || Normal.String() != "N" {
+		t.Fatal("Distribution.String mismatch")
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	bad := []Config{
+		{Length: 0, Period: 1, Sigma: 2},
+		{Length: 10, Period: 0, Sigma: 2},
+		{Length: 10, Period: 11, Sigma: 2},
+		{Length: 10, Period: 2, Sigma: 0},
+		{Length: 10, Period: 2, Sigma: 27},
+		{Length: 10, Period: 2, Sigma: 3, NoiseRatio: 1.5, Noise: Replacement},
+		{Length: 10, Period: 2, Sigma: 3, NoiseRatio: 0.5}, // ratio without kinds
+	}
+	for _, cfg := range bad {
+		if _, _, err := Generate(cfg); err == nil {
+			t.Errorf("Generate(%+v): want error", cfg)
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Length: 500, Period: 25, Sigma: 10, Dist: Uniform,
+		Noise: Replacement, NoiseRatio: 0.1, Seed: 42}
+	a, _, _ := Generate(cfg)
+	b, _, _ := Generate(cfg)
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different series")
+	}
+	cfg.Seed = 43
+	c, _, _ := Generate(cfg)
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical series")
+	}
+}
+
+func TestNormalDistributionConcentratesCenter(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[drawSymbol(rng, 10, Normal)]++
+	}
+	center := counts[4] + counts[5]
+	edges := counts[0] + counts[9]
+	if center <= edges {
+		t.Fatalf("normal draw not centred: center=%d edges=%d", center, edges)
+	}
+}
+
+func TestReplacementAlwaysChangesSymbol(t *testing.T) {
+	// With σ>1 a replacement event must alter the symbol, so at ratio 1 the
+	// series cannot remain perfectly periodic.
+	s, pattern, err := Generate(Config{Length: 400, Period: 8, Sigma: 4, Dist: Uniform,
+		Noise: Replacement, NoiseRatio: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := 0
+	for i := 0; i < s.Len(); i++ {
+		if uint16(s.At(i)) != pattern[i%8] {
+			diffs++
+		}
+	}
+	if diffs == 0 {
+		t.Fatal("ratio-1 replacement noise left series unchanged")
+	}
+}
+
+func TestGenerateLengthProperty(t *testing.T) {
+	f := func(seed int64, ln, per, ratio uint8, kinds uint8) bool {
+		n := int(ln)%500 + 10
+		p := int(per)%n + 1
+		no := Noise(kinds) & (Replacement | Insertion | Deletion)
+		r := float64(ratio%100) / 100
+		if no == 0 {
+			r = 0
+		}
+		s, _, err := Generate(Config{Length: n, Period: p, Sigma: 5, Dist: Uniform,
+			Noise: no, NoiseRatio: r, Seed: seed})
+		return err == nil && s.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

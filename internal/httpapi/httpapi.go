@@ -1,0 +1,133 @@
+// Package httpapi exposes the miner as a small JSON-over-HTTP service: a
+// time-series database component would deploy this next to its storage
+// layer. Stateless by design — every request carries its series (symbols or
+// raw numeric values) and its mining parameters.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"periodica"
+)
+
+// MaxBodyBytes caps request bodies (64 MiB).
+const MaxBodyBytes = 64 << 20
+
+// MineRequest is the body of POST /v1/mine and POST /v1/candidates. Exactly
+// one of Symbols and Values must be set.
+type MineRequest struct {
+	// Symbols is a string of single-rune symbols.
+	Symbols string `json:"symbols,omitempty"`
+	// Values are raw numeric readings, discretized into Levels equal-width
+	// levels (default 5).
+	Values []float64 `json:"values,omitempty"`
+	Levels int       `json:"levels,omitempty"`
+
+	Threshold        float64 `json:"threshold"`
+	MinPeriod        int     `json:"minPeriod,omitempty"`
+	MaxPeriod        int     `json:"maxPeriod,omitempty"`
+	MaxPatternPeriod int     `json:"maxPatternPeriod,omitempty"`
+	MaximalOnly      bool    `json:"maximalOnly,omitempty"`
+	MinPairs         int     `json:"minPairs,omitempty"`
+}
+
+// ErrorResponse is the JSON error envelope.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// CandidatesResponse is the body of a successful POST /v1/candidates.
+type CandidatesResponse struct {
+	Threshold float64 `json:"threshold"`
+	Periods   []int   `json:"periods"`
+}
+
+// Handler returns the service's HTTP handler.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", handleHealth)
+	mux.HandleFunc("/v1/mine", handleMine)
+	mux.HandleFunc("/v1/candidates", handleCandidates)
+	return mux
+}
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func handleMine(w http.ResponseWriter, r *http.Request) {
+	req, s, ok := decodeSeries(w, r)
+	if !ok {
+		return
+	}
+	res, err := periodica.Mine(s, periodica.Options{
+		Threshold: req.Threshold, MinPeriod: req.MinPeriod, MaxPeriod: req.MaxPeriod,
+		MaxPatternPeriod: req.MaxPatternPeriod, MaximalOnly: req.MaximalOnly,
+		MinPairs: req.MinPairs,
+	})
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func handleCandidates(w http.ResponseWriter, r *http.Request) {
+	req, s, ok := decodeSeries(w, r)
+	if !ok {
+		return
+	}
+	periods, err := periodica.CandidatePeriods(s, req.Threshold, req.MaxPeriod)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, CandidatesResponse{Threshold: req.Threshold, Periods: periods})
+}
+
+// decodeSeries parses the request and builds the series; on failure it has
+// already written the error response.
+func decodeSeries(w http.ResponseWriter, r *http.Request) (MineRequest, *periodica.Series, bool) {
+	var req MineRequest
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
+		return req, nil, false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return req, nil, false
+	}
+	var (
+		s   *periodica.Series
+		err error
+	)
+	switch {
+	case req.Symbols != "" && req.Values != nil:
+		err = fmt.Errorf("set either symbols or values, not both")
+	case req.Symbols != "":
+		s, err = periodica.NewSeriesFromString(req.Symbols)
+	case req.Values != nil:
+		levels := req.Levels
+		if levels == 0 {
+			levels = 5
+		}
+		s, err = periodica.DiscretizeEqualWidth(req.Values, levels)
+	default:
+		err = fmt.Errorf("symbols or values required")
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return req, nil, false
+	}
+	return req, s, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

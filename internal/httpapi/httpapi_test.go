@@ -1,0 +1,127 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"periodica"
+)
+
+func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("body %v", body)
+	}
+}
+
+func TestMineSymbols(t *testing.T) {
+	rec := post(t, Handler(), "/v1/mine", `{"symbols":"abcabbabcb","threshold":0.66}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var res periodica.Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	foundAB := false
+	for _, pt := range res.Patterns {
+		if pt.Text == "ab*" {
+			foundAB = true
+		}
+	}
+	if !foundAB {
+		t.Fatalf("pattern ab* missing from service result: %+v", res.Patterns)
+	}
+}
+
+func TestMineValues(t *testing.T) {
+	rec := post(t, Handler(), "/v1/mine",
+		`{"values":[1,5,9,1,5,9,1,5,9,1,5,9],"levels":3,"threshold":1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var res periodica.Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Periods) == 0 || res.Periods[0] != 3 {
+		t.Fatalf("periods %v, want leading 3", res.Periods)
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	rec := post(t, Handler(), "/v1/candidates",
+		`{"symbols":"`+strings.Repeat("abcd", 50)+`","threshold":1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var res CandidatesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	has4 := false
+	for _, p := range res.Periods {
+		if p == 4 {
+			has4 = true
+		}
+	}
+	if !has4 {
+		t.Fatalf("period 4 missing: %v", res.Periods)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	h := Handler()
+	cases := map[string]string{
+		"neither symbols nor values": `{"threshold":0.5}`,
+		"both symbols and values":    `{"symbols":"ab","values":[1],"threshold":0.5}`,
+		"bad threshold":              `{"symbols":"abab","threshold":0}`,
+		"invalid json":               `{`,
+		"unknown field":              `{"symbols":"abab","threshold":0.5,"bogus":1}`,
+		"constant values":            `{"values":[2,2,2,2],"threshold":0.5}`,
+	}
+	for name, body := range cases {
+		rec := post(t, h, "/v1/mine", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, rec.Code)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error envelope missing: %s", name, rec.Body)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/mine", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", rec.Code)
+	}
+}
+
+func TestCandidatesBadMaxPeriod(t *testing.T) {
+	rec := post(t, Handler(), "/v1/candidates", `{"symbols":"abab","threshold":0.5,"maxPeriod":100}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+}

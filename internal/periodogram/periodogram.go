@@ -1,0 +1,175 @@
+// Package periodogram implements the classic spectral approach to period
+// detection — the scattered folk method the paper's contribution organizes
+// and surpasses: per-symbol indicator periodograms are summed, spectral
+// peaks above a significance threshold become candidate frequencies, and
+// each candidate period N/k is validated and refined on the autocorrelation
+// (a hill climb to the nearest local maximum), AUTOPERIOD-style. Unlike the
+// convolution miner it yields only period values — no positions, symbols or
+// patterns — which is precisely the gap §1 describes.
+package periodogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"periodica/internal/conv"
+	"periodica/internal/fft"
+	"periodica/internal/series"
+)
+
+// Candidate is a detected period with its spectral and autocorrelation
+// evidence.
+type Candidate struct {
+	Period   int
+	Power    float64 // summed periodogram power at the source frequency
+	AutoCorr float64 // total lag-match fraction at the refined period
+}
+
+// Config tunes Detect.
+type Config struct {
+	// MaxPeriod bounds the reported periods; 0 means n/2.
+	MaxPeriod int
+	// PowerFactor is the significance threshold: a frequency qualifies when
+	// its power exceeds PowerFactor × the mean spectral power. Default 4.
+	PowerFactor float64
+	// TopK caps the number of candidates. Default 20.
+	TopK int
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.MaxPeriod == 0 {
+		c.MaxPeriod = n / 2
+	}
+	if c.PowerFactor == 0 {
+		c.PowerFactor = 4
+	}
+	if c.TopK == 0 {
+		c.TopK = 20
+	}
+	return c
+}
+
+// Power returns the summed per-symbol periodogram of s: for each symbol's
+// mean-centred indicator, |FFT|² is accumulated over the padded length m;
+// entry k corresponds to frequency k/m.
+func Power(s *series.Series) ([]float64, int) {
+	n := s.Len()
+	m := fft.NextPow2(n)
+	power := make([]float64, m/2+1)
+	buf := make([]complex128, m)
+	for k := 0; k < s.Alphabet().Size(); k++ {
+		ind := s.Indicator(k)
+		mean := 0.0
+		for _, v := range ind {
+			mean += v
+		}
+		mean /= float64(n)
+		for i := range buf {
+			buf[i] = 0
+		}
+		for i, v := range ind {
+			buf[i] = complex(v-mean, 0)
+		}
+		fft.Forward(buf)
+		for j := 0; j <= m/2; j++ {
+			re, im := real(buf[j]), imag(buf[j])
+			power[j] += re*re + im*im
+		}
+	}
+	return power, m
+}
+
+// Detect finds candidate periods of s from spectral peaks validated on the
+// autocorrelation. Results are ordered by power, strongest first; each
+// refined period appears once.
+func Detect(s *series.Series, cfg Config) ([]Candidate, error) {
+	n := s.Len()
+	if n < 4 {
+		return nil, fmt.Errorf("periodogram: series too short (n=%d)", n)
+	}
+	cfg = cfg.withDefaults(n)
+	if cfg.MaxPeriod < 2 || cfg.MaxPeriod >= n {
+		return nil, fmt.Errorf("periodogram: maxPeriod %d outside [2,%d)", cfg.MaxPeriod, n)
+	}
+
+	power, m := Power(s)
+	var meanPower float64
+	for _, p := range power[1:] {
+		meanPower += p
+	}
+	meanPower /= float64(len(power) - 1)
+	if meanPower == 0 {
+		return nil, nil // constant series: no periodicity
+	}
+
+	// Total autocorrelation (fraction of lag-p positions matching), for
+	// validation and refinement.
+	lag := conv.LagMatchCounts(s)
+	autoCorr := func(p int) float64 {
+		if p < 1 || p >= n {
+			return 0
+		}
+		var matches int64
+		for k := range lag {
+			matches += lag[k][p]
+		}
+		return float64(matches) / float64(n-p)
+	}
+
+	type peak struct {
+		freq  int
+		power float64
+	}
+	var peaks []peak
+	for j := 2; j < len(power); j++ { // j=1 is the whole-series "period"
+		if power[j] >= cfg.PowerFactor*meanPower {
+			peaks = append(peaks, peak{freq: j, power: power[j]})
+		}
+	}
+	sort.Slice(peaks, func(i, j int) bool { return peaks[i].power > peaks[j].power })
+
+	seen := map[int]bool{}
+	var out []Candidate
+	for _, pk := range peaks {
+		if len(out) >= cfg.TopK {
+			break
+		}
+		p := int(math.Round(float64(m) / float64(pk.freq)))
+		p = refine(p, cfg.MaxPeriod, autoCorr)
+		if p < 2 || p > cfg.MaxPeriod || seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, Candidate{Period: p, Power: pk.power, AutoCorr: autoCorr(p)})
+	}
+	return out, nil
+}
+
+// refine hill-climbs from an initial period estimate to the nearest local
+// maximum of the autocorrelation, compensating the frequency grid's
+// quantization (period = m/k only hits divisors of the padded length).
+func refine(p, maxPeriod int, autoCorr func(int) float64) int {
+	if p < 2 {
+		return p
+	}
+	if p > maxPeriod {
+		p = maxPeriod
+	}
+	for {
+		cur := autoCorr(p)
+		best, bestP := cur, p
+		if v := autoCorr(p - 1); v > best {
+			best, bestP = v, p-1
+		}
+		if p+1 <= maxPeriod {
+			if v := autoCorr(p + 1); v > best {
+				bestP = p + 1
+			}
+		}
+		if bestP == p {
+			return p
+		}
+		p = bestP
+	}
+}

@@ -1,0 +1,136 @@
+package periodogram
+
+import (
+	"testing"
+
+	"periodica/internal/core"
+	"periodica/internal/gen"
+	"periodica/internal/series"
+)
+
+func hasPeriodNear(cands []Candidate, p, slack int) bool {
+	for _, c := range cands {
+		if c.Period >= p-slack && c.Period <= p+slack {
+			return true
+		}
+		// Multiples of the fundamental are equally valid spectral answers.
+		if c.Period%p == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDetectEmbeddedPeriodClean(t *testing.T) {
+	s, _, err := gen.Generate(gen.Config{Length: 4096, Period: 32, Sigma: 8, Dist: gen.Uniform, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := Detect(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates on perfectly periodic data")
+	}
+	if !hasPeriodNear(cands, 32, 0) {
+		t.Fatalf("period 32 (or multiple) missing: %+v", cands)
+	}
+}
+
+func TestDetectEmbeddedPeriodNoisy(t *testing.T) {
+	s, _, err := gen.Generate(gen.Config{Length: 8192, Period: 25, Sigma: 10, Dist: gen.Uniform,
+		Noise: gen.Replacement, NoiseRatio: 0.3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := Detect(s, Config{PowerFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasPeriodNear(cands, 25, 1) {
+		t.Fatalf("period 25 missing under noise: %+v", cands)
+	}
+}
+
+func TestDetectAgreesWithMiner(t *testing.T) {
+	// On the Wal-Mart-like daily data both the spectral method and the
+	// convolution miner must surface the 24-hour rhythm; only the miner also
+	// yields positions and symbols (checked elsewhere).
+	s, _, err := gen.Generate(gen.Config{Length: 24 * 200, Period: 24, Sigma: 6, Dist: gen.Normal,
+		Noise: gen.Replacement, NoiseRatio: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := Detect(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasPeriodNear(cands, 24, 0) {
+		t.Fatalf("spectral method missed period 24: %+v", cands)
+	}
+	if conf := core.PeriodConfidence(s, 24); conf < 0.8 {
+		t.Fatalf("miner confidence %v at period 24", conf)
+	}
+}
+
+func TestDetectConstantSeries(t *testing.T) {
+	s := series.FromString("aaaaaaaaaaaaaaaa")
+	cands, err := Detect(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 {
+		t.Fatalf("constant series produced candidates: %+v", cands)
+	}
+}
+
+func TestDetectValidates(t *testing.T) {
+	s := series.FromString("ab")
+	if _, err := Detect(s, Config{}); err == nil {
+		t.Fatal("n=2: want error")
+	}
+	long := series.FromString("abcabcabcabc")
+	if _, err := Detect(long, Config{MaxPeriod: 100}); err == nil {
+		t.Fatal("maxPeriod ≥ n: want error")
+	}
+}
+
+func TestPowerPeakLocation(t *testing.T) {
+	// Pure period-16 data of power-of-two length: the padded length equals
+	// n, so the dominant frequency bin is exactly m/16.
+	s, _, err := gen.Generate(gen.Config{Length: 1024, Period: 16, Sigma: 6, Dist: gen.Uniform, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	power, m := Power(s)
+	if m != 1024 {
+		t.Fatalf("padded length %d", m)
+	}
+	best, bestJ := 0.0, 0
+	for j := 1; j < len(power); j++ {
+		if power[j] > best {
+			best, bestJ = power[j], j
+		}
+	}
+	if bestJ%(m/16) != 0 {
+		t.Fatalf("dominant bin %d is not a multiple of the fundamental %d", bestJ, m/16)
+	}
+}
+
+func TestAutoCorrValidationRanksTruePeriodHigh(t *testing.T) {
+	s, _, err := gen.Generate(gen.Config{Length: 4096, Period: 20, Sigma: 8, Dist: gen.Uniform,
+		Noise: gen.Replacement, NoiseRatio: 0.2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := Detect(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.Period%20 == 0 && c.AutoCorr < 0.4 {
+			t.Fatalf("true-period candidate with weak autocorrelation: %+v", c)
+		}
+	}
+}

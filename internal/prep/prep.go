@@ -1,0 +1,178 @@
+// Package prep prepares raw numeric feature series (temperature, prices,
+// consumption — §2.1 of the paper) for symbol mining: normalization,
+// detrending, piecewise aggregate approximation, and SAX-style
+// equal-probability discretization under a Gaussian assumption. The paper
+// treats discretization as orthogonal (its reference [9] surveys the
+// techniques); this package supplies the standard ones so numeric data can
+// reach the miner without external tooling.
+package prep
+
+import (
+	"fmt"
+	"math"
+
+	"periodica/internal/alphabet"
+	"periodica/internal/discretize"
+	"periodica/internal/series"
+)
+
+// ZScore returns (values − mean)/stddev. A constant series maps to all
+// zeros.
+func ZScore(values []float64) []float64 {
+	mean, sd := MeanStd(values)
+	out := make([]float64, len(values))
+	if sd == 0 {
+		return out
+	}
+	for i, v := range values {
+		out[i] = (v - mean) / sd
+	}
+	return out
+}
+
+// MeanStd returns the mean and population standard deviation of values.
+func MeanStd(values []float64) (mean, sd float64) {
+	if len(values) == 0 {
+		return 0, 0
+	}
+	for _, v := range values {
+		mean += v
+	}
+	mean /= float64(len(values))
+	var ss float64
+	for _, v := range values {
+		d := v - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(values)))
+}
+
+// Detrend subtracts a centred moving average of the given window from each
+// value, removing slow drift (seasonal baselines, growth trends) that would
+// otherwise smear level boundaries. Edges use the available partial window.
+// The window must be ≥ 2.
+func Detrend(values []float64, window int) ([]float64, error) {
+	if window < 2 {
+		return nil, fmt.Errorf("prep: detrend window %d < 2", window)
+	}
+	if window > len(values) {
+		return nil, fmt.Errorf("prep: detrend window %d exceeds series length %d", window, len(values))
+	}
+	// Prefix sums for O(1) window means.
+	prefix := make([]float64, len(values)+1)
+	for i, v := range values {
+		prefix[i+1] = prefix[i] + v
+	}
+	out := make([]float64, len(values))
+	half := window / 2
+	for i := range values {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + (window - half - 1)
+		if hi >= len(values) {
+			hi = len(values) - 1
+		}
+		mean := (prefix[hi+1] - prefix[lo]) / float64(hi-lo+1)
+		out[i] = values[i] - mean
+	}
+	return out, nil
+}
+
+// PAA reduces values to ⌈n/frame⌉ piecewise aggregate means, each frame's
+// average — the standard pre-step before SAX discretization. The last frame
+// may be shorter. frame must be ≥ 1.
+func PAA(values []float64, frame int) ([]float64, error) {
+	if frame < 1 {
+		return nil, fmt.Errorf("prep: PAA frame %d < 1", frame)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("prep: empty series")
+	}
+	out := make([]float64, 0, (len(values)+frame-1)/frame)
+	for i := 0; i < len(values); i += frame {
+		hi := i + frame
+		if hi > len(values) {
+			hi = len(values)
+		}
+		sum := 0.0
+		for _, v := range values[i:hi] {
+			sum += v
+		}
+		out = append(out, sum/float64(hi-i))
+	}
+	return out, nil
+}
+
+// gaussianBreakpoints holds the standard SAX breakpoints: the z-values
+// splitting a standard normal into equal-probability regions, for alphabet
+// sizes 2..10.
+var gaussianBreakpoints = map[int][]float64{
+	2:  {0},
+	3:  {-0.43, 0.43},
+	4:  {-0.67, 0, 0.67},
+	5:  {-0.84, -0.25, 0.25, 0.84},
+	6:  {-0.97, -0.43, 0, 0.43, 0.97},
+	7:  {-1.07, -0.57, -0.18, 0.18, 0.57, 1.07},
+	8:  {-1.15, -0.67, -0.32, 0, 0.32, 0.67, 1.15},
+	9:  {-1.22, -0.76, -0.43, -0.14, 0.14, 0.43, 0.76, 1.22},
+	10: {-1.28, -0.84, -0.52, -0.25, 0, 0.25, 0.52, 0.84, 1.28},
+}
+
+// SAXScheme returns the equal-probability Gaussian discretization for σ
+// levels (2 ≤ σ ≤ 10), to be applied to z-scored values.
+func SAXScheme(sigma int) (discretize.Scheme, error) {
+	breaks, ok := gaussianBreakpoints[sigma]
+	if !ok {
+		return discretize.Scheme{}, fmt.Errorf("prep: SAX supports 2..10 levels, got %d", sigma)
+	}
+	return discretize.NewBreakpoints(breaks)
+}
+
+// SAXConfig drives the full numeric-to-symbols pipeline.
+type SAXConfig struct {
+	// Levels is the alphabet size σ (2..10). Default 5, the paper's
+	// real-data choice.
+	Levels int
+	// Frame is the PAA frame length; 1 (default) keeps every point. Note
+	// that PAA divides every embedded period by Frame, so Frame should
+	// divide the periods of interest.
+	Frame int
+	// DetrendWindow, when > 0, removes a centred moving average of that
+	// window before normalization.
+	DetrendWindow int
+}
+
+// SAX converts a raw numeric series to a symbol series: optional detrend,
+// z-score, optional PAA, then equal-probability Gaussian levels a, b, … —
+// the standard SAX pipeline.
+func SAX(values []float64, cfg SAXConfig) (*series.Series, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("prep: empty series")
+	}
+	if cfg.Levels == 0 {
+		cfg.Levels = 5
+	}
+	if cfg.Frame == 0 {
+		cfg.Frame = 1
+	}
+	work := values
+	var err error
+	if cfg.DetrendWindow > 0 {
+		if work, err = Detrend(work, cfg.DetrendWindow); err != nil {
+			return nil, err
+		}
+	}
+	work = ZScore(work)
+	if cfg.Frame > 1 {
+		if work, err = PAA(work, cfg.Frame); err != nil {
+			return nil, err
+		}
+	}
+	scheme, err := SAXScheme(cfg.Levels)
+	if err != nil {
+		return nil, err
+	}
+	return scheme.Apply(work, alphabet.Letters(cfg.Levels))
+}

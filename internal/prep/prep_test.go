@@ -1,0 +1,217 @@
+package prep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"periodica/internal/core"
+)
+
+func TestZScoreNormalizes(t *testing.T) {
+	values := []float64{2, 4, 6, 8}
+	z := ZScore(values)
+	mean, sd := MeanStd(z)
+	if math.Abs(mean) > 1e-12 {
+		t.Fatalf("mean %v after z-score", mean)
+	}
+	if math.Abs(sd-1) > 1e-12 {
+		t.Fatalf("sd %v after z-score", sd)
+	}
+}
+
+func TestZScoreConstantSeries(t *testing.T) {
+	z := ZScore([]float64{5, 5, 5})
+	for _, v := range z {
+		if v != 0 {
+			t.Fatalf("constant series z-scored to %v", z)
+		}
+	}
+}
+
+func TestMeanStdEmpty(t *testing.T) {
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Fatal("MeanStd(nil) nonzero")
+	}
+}
+
+func TestDetrendRemovesLinearDrift(t *testing.T) {
+	// Periodic signal on a strong linear ramp: after detrending, the ramp is
+	// gone and the oscillation dominates.
+	n := 400
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)*3 + 10*math.Sin(2*math.Pi*float64(i)/20)
+	}
+	flat, err := Detrend(values, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare first and last quarter means: the ramp would separate them by
+	// ~3·n/2; after detrending they must be near equal.
+	q := n / 4
+	m1, _ := MeanStd(flat[:q])
+	m2, _ := MeanStd(flat[3*q:])
+	if math.Abs(m2-m1) > 5 {
+		t.Fatalf("drift survived detrending: %v vs %v", m1, m2)
+	}
+}
+
+func TestDetrendValidates(t *testing.T) {
+	if _, err := Detrend([]float64{1, 2, 3}, 1); err == nil {
+		t.Fatal("window 1: want error")
+	}
+	if _, err := Detrend([]float64{1, 2}, 5); err == nil {
+		t.Fatal("window > n: want error")
+	}
+}
+
+func TestPAA(t *testing.T) {
+	out, err := PAA([]float64{1, 3, 5, 7, 9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 6, 9} // last frame is the single trailing value
+	if len(out) != len(want) {
+		t.Fatalf("PAA = %v", out)
+	}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("PAA = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestPAAValidates(t *testing.T) {
+	if _, err := PAA(nil, 2); err == nil {
+		t.Fatal("empty: want error")
+	}
+	if _, err := PAA([]float64{1}, 0); err == nil {
+		t.Fatal("frame 0: want error")
+	}
+}
+
+func TestPAAFrameOneIdentity(t *testing.T) {
+	in := []float64{3, 1, 4, 1, 5}
+	out, err := PAA(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatal("frame-1 PAA changed values")
+		}
+	}
+}
+
+func TestSAXSchemeEqualProbability(t *testing.T) {
+	// Standard normal draws must land near-uniformly in the SAX levels.
+	rng := rand.New(rand.NewSource(1))
+	for _, sigma := range []int{3, 5, 8} {
+		scheme, err := SAXScheme(sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, sigma)
+		const draws = 100000
+		for i := 0; i < draws; i++ {
+			counts[scheme.Level(rng.NormFloat64())]++
+		}
+		want := draws / sigma
+		for lvl, c := range counts {
+			if c < want*8/10 || c > want*12/10 {
+				t.Fatalf("σ=%d level %d holds %d of %d draws (want ≈%d)", sigma, lvl, c, draws, want)
+			}
+		}
+	}
+}
+
+func TestSAXSchemeValidates(t *testing.T) {
+	for _, bad := range []int{1, 11, 0} {
+		if _, err := SAXScheme(bad); err == nil {
+			t.Fatalf("SAXScheme(%d): want error", bad)
+		}
+	}
+}
+
+func TestSAXPipelineRecoversPeriod(t *testing.T) {
+	// A noisy sine with period 24 on a drift, through the full pipeline,
+	// must yield a symbol series in which the miner finds period 24.
+	rng := rand.New(rand.NewSource(2))
+	n := 24 * 60
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = 100 + 0.05*float64(i) + // drift
+			40*math.Sin(2*math.Pi*float64(i)/24) + // daily cycle
+			rng.NormFloat64()*4
+	}
+	s, err := SAX(values, SAXConfig{Levels: 5, DetrendWindow: 49})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != n {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if conf := core.PeriodConfidence(s, 24); conf < 0.6 {
+		t.Fatalf("period 24 confidence %v after SAX pipeline", conf)
+	}
+}
+
+func TestSAXWithPAAShrinksSeries(t *testing.T) {
+	values := make([]float64, 120)
+	for i := range values {
+		values[i] = math.Sin(2 * math.Pi * float64(i) / 12)
+	}
+	s, err := SAX(values, SAXConfig{Levels: 4, Frame: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 40 {
+		t.Fatalf("len = %d, want 40", s.Len())
+	}
+	// Period 12 at frame 3 becomes period 4.
+	if conf := core.PeriodConfidence(s, 4); conf < 0.9 {
+		t.Fatalf("period 4 confidence %v after PAA", conf)
+	}
+}
+
+func TestSAXValidates(t *testing.T) {
+	if _, err := SAX(nil, SAXConfig{}); err == nil {
+		t.Fatal("empty: want error")
+	}
+	if _, err := SAX([]float64{1, 2}, SAXConfig{Levels: 20}); err == nil {
+		t.Fatal("σ=20: want error")
+	}
+	if _, err := SAX([]float64{1, 2}, SAXConfig{DetrendWindow: 10}); err == nil {
+		t.Fatal("detrend window > n: want error")
+	}
+}
+
+func TestZScoreShiftScaleInvariantProperty(t *testing.T) {
+	f := func(seed int64, shift, scale float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.IsNaN(scale) || math.IsInf(scale, 0) {
+			return true
+		}
+		if scale <= 0.001 || scale > 1000 || math.Abs(shift) > 1e6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 50)
+		b := make([]float64, 50)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = a[i]*scale + shift
+		}
+		za, zb := ZScore(a), ZScore(b)
+		for i := range za {
+			if math.Abs(za[i]-zb[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

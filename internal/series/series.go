@@ -1,0 +1,170 @@
+// Package series defines the discretized symbol time series the miner
+// operates on, together with the projection π_{p,l} and consecutive-occurrence
+// count F2 from the paper's problem definition (§2).
+package series
+
+import (
+	"fmt"
+
+	"periodica/internal/alphabet"
+)
+
+// Series is a time series T = t_0, t_1, …, t_{n−1} of symbols over an
+// alphabet, stored as dense symbol indices.
+type Series struct {
+	alpha *alphabet.Alphabet
+	data  []uint16
+}
+
+// MaxAlphabet is the largest alphabet size a Series supports.
+const MaxAlphabet = 1 << 16
+
+// New builds a series over alpha from symbol indices. The indices are copied.
+func New(alpha *alphabet.Alphabet, indices []int) (*Series, error) {
+	if alpha.Size() > MaxAlphabet {
+		return nil, fmt.Errorf("series: alphabet size %d exceeds %d", alpha.Size(), MaxAlphabet)
+	}
+	s := &Series{alpha: alpha, data: make([]uint16, len(indices))}
+	for i, k := range indices {
+		if k < 0 || k >= alpha.Size() {
+			return nil, fmt.Errorf("series: symbol index %d at position %d out of range [0,%d)", k, i, alpha.Size())
+		}
+		s.data[i] = uint16(k)
+	}
+	return s, nil
+}
+
+// FromString parses a series of single-rune symbols, deriving the alphabet
+// from the distinct runes in sorted order. "abcabbabcb" yields the paper's
+// running example with a=0, b=1, c=2.
+func FromString(text string) *Series {
+	alpha := alphabet.FromString(text)
+	s := &Series{alpha: alpha}
+	for _, r := range text {
+		k, _ := alpha.Index(string(r))
+		s.data = append(s.data, uint16(k))
+	}
+	return s
+}
+
+// FromIndices builds a series without validation; it panics on an out-of-range
+// index. Intended for generators that construct indices programmatically.
+func FromIndices(alpha *alphabet.Alphabet, indices []uint16) *Series {
+	for i, k := range indices {
+		if int(k) >= alpha.Size() {
+			panic(fmt.Sprintf("series: symbol index %d at position %d out of range [0,%d)", k, i, alpha.Size()))
+		}
+	}
+	return &Series{alpha: alpha, data: indices}
+}
+
+// Len returns n, the series length.
+func (s *Series) Len() int { return len(s.data) }
+
+// Alphabet returns the series alphabet.
+func (s *Series) Alphabet() *alphabet.Alphabet { return s.alpha }
+
+// At returns the symbol index at position i.
+func (s *Series) At(i int) int { return int(s.data[i]) }
+
+// Indices returns the backing symbol-index slice. The caller must not mutate
+// it.
+func (s *Series) Indices() []uint16 { return s.data }
+
+// String renders the series by concatenating its symbols.
+func (s *Series) String() string {
+	out := ""
+	for _, k := range s.data {
+		out += s.alpha.Symbol(int(k))
+	}
+	return out
+}
+
+// Slice returns the subseries [lo, hi) sharing the same alphabet.
+func (s *Series) Slice(lo, hi int) *Series {
+	return &Series{alpha: s.alpha, data: s.data[lo:hi]}
+}
+
+// ProjectionLen returns m = ⌈(n−l)/p⌉, the length of π_{p,l}(T).
+func (s *Series) ProjectionLen(p, l int) int {
+	n := len(s.data)
+	if l >= n {
+		return 0
+	}
+	return (n - l + p - 1) / p
+}
+
+// Projection returns π_{p,l}(T) = t_l, t_{l+p}, t_{l+2p}, … as symbol indices.
+// Requires 0 ≤ l < p.
+func (s *Series) Projection(p, l int) []int {
+	if p <= 0 || l < 0 || l >= p {
+		panic(fmt.Sprintf("series: invalid projection p=%d l=%d", p, l))
+	}
+	var out []int
+	for i := l; i < len(s.data); i += p {
+		out = append(out, int(s.data[i]))
+	}
+	return out
+}
+
+// F2 returns the number of times symbol index k occurs in two consecutive
+// positions of the projection π_{p,l}(T); equivalently the number of i ≡ l
+// (mod p) with t_i = t_{i+p} = s_k. This is the paper's F2(s_k, π_{p,l}(T)).
+func (s *Series) F2(k, p, l int) int {
+	if p <= 0 || l < 0 || l >= p {
+		panic(fmt.Sprintf("series: invalid F2 p=%d l=%d", p, l))
+	}
+	count := 0
+	for i := l; i+p < len(s.data); i += p {
+		if int(s.data[i]) == k && int(s.data[i+p]) == k {
+			count++
+		}
+	}
+	return count
+}
+
+// F2String counts consecutive equal-symbol pairs of symbol k in an arbitrary
+// index sequence, matching the paper's F2(s, T) on a plain string (e.g.
+// F2(a, "abbaaabaa") = 3).
+func F2String(seq []int, k int) int {
+	count := 0
+	for i := 0; i+1 < len(seq); i++ {
+		if seq[i] == k && seq[i+1] == k {
+			count++
+		}
+	}
+	return count
+}
+
+// MatchCount returns the number of positions i with t_i = t_{i+p}, i.e. the
+// total symbol matches when T is compared to its p-shift T(p).
+func (s *Series) MatchCount(p int) int {
+	count := 0
+	for i := 0; i+p < len(s.data); i++ {
+		if s.data[i] == s.data[i+p] {
+			count++
+		}
+	}
+	return count
+}
+
+// Indicator returns the 0/1 indicator vector of symbol k as float64, for FFT
+// correlation.
+func (s *Series) Indicator(k int) []float64 {
+	out := make([]float64, len(s.data))
+	for i, v := range s.data {
+		if int(v) == k {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Counts returns the number of occurrences of each symbol.
+func (s *Series) Counts() []int {
+	out := make([]int, s.alpha.Size())
+	for _, v := range s.data {
+		out[v]++
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package series
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"periodica/internal/alphabet"
+)
+
+func TestFromStringRunningExample(t *testing.T) {
+	s := FromString("abcabbabcb")
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	if s.Alphabet().Size() != 3 {
+		t.Fatalf("σ = %d, want 3", s.Alphabet().Size())
+	}
+	if s.String() != "abcabbabcb" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestProjectionPaperExamples(t *testing.T) {
+	// π_{4,1}(abcabbabcb) = bbb, π_{3,0} = aaab (paper §2.2).
+	s := FromString("abcabbabcb")
+	b, _ := s.Alphabet().Index("b")
+	a, _ := s.Alphabet().Index("a")
+	p41 := s.Projection(4, 1)
+	if len(p41) != 3 || p41[0] != b || p41[1] != b || p41[2] != b {
+		t.Fatalf("π_{4,1} = %v, want [b b b]", p41)
+	}
+	p30 := s.Projection(3, 0)
+	want := []int{a, a, a, b}
+	if len(p30) != 4 {
+		t.Fatalf("π_{3,0} length %d, want 4", len(p30))
+	}
+	for i := range want {
+		if p30[i] != want[i] {
+			t.Fatalf("π_{3,0} = %v, want %v", p30, want)
+		}
+	}
+}
+
+func TestProjectionLen(t *testing.T) {
+	s := FromString("abcabbabcb")
+	if got := s.ProjectionLen(3, 0); got != 4 {
+		t.Fatalf("ProjectionLen(3,0) = %d, want 4", got)
+	}
+	if got := s.ProjectionLen(3, 1); got != 3 {
+		t.Fatalf("ProjectionLen(3,1) = %d, want 3", got)
+	}
+	if got := s.ProjectionLen(4, 1); got != 3 {
+		t.Fatalf("ProjectionLen(4,1) = %d, want 3", got)
+	}
+}
+
+func TestF2StringPaperExample(t *testing.T) {
+	// T = abbaaabaa: F2(a,T) = 3, F2(b,T) = 1 (paper §2.2).
+	s := FromString("abbaaabaa")
+	a, _ := s.Alphabet().Index("a")
+	b, _ := s.Alphabet().Index("b")
+	seq := make([]int, s.Len())
+	for i := range seq {
+		seq[i] = s.At(i)
+	}
+	if got := F2String(seq, a); got != 3 {
+		t.Fatalf("F2(a, abbaaabaa) = %d, want 3", got)
+	}
+	if got := F2String(seq, b); got != 1 {
+		t.Fatalf("F2(b, abbaaabaa) = %d, want 1", got)
+	}
+}
+
+func TestF2PaperExample(t *testing.T) {
+	// F2(a, π_{3,0}(abcabbabcb)) = 2 with denominator ⌈10/3⌉−1 = 3 → 2/3.
+	s := FromString("abcabbabcb")
+	a, _ := s.Alphabet().Index("a")
+	b, _ := s.Alphabet().Index("b")
+	if got := s.F2(a, 3, 0); got != 2 {
+		t.Fatalf("F2(a,3,0) = %d, want 2", got)
+	}
+	if got := s.F2(b, 3, 1); got != 2 {
+		t.Fatalf("F2(b,3,1) = %d, want 2", got)
+	}
+	if got := s.F2(b, 4, 1); got != 2 {
+		t.Fatalf("F2(b,4,1) = %d, want 2", got)
+	}
+}
+
+func TestF2EqualsF2StringOnProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alpha := alphabet.Letters(4)
+	idx := make([]uint16, 200)
+	for i := range idx {
+		idx[i] = uint16(rng.Intn(4))
+	}
+	s := FromIndices(alpha, idx)
+	for p := 1; p <= 10; p++ {
+		for l := 0; l < p; l++ {
+			for k := 0; k < 4; k++ {
+				if got, want := s.F2(k, p, l), F2String(s.Projection(p, l), k); got != want {
+					t.Fatalf("F2(%d,%d,%d) = %d, want %d", k, p, l, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMatchCount(t *testing.T) {
+	// abcabbabcb vs shift 3: matches at i = 0,1,3,4 (paper: four matches).
+	s := FromString("abcabbabcb")
+	if got := s.MatchCount(3); got != 4 {
+		t.Fatalf("MatchCount(3) = %d, want 4", got)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	alpha := alphabet.Letters(3)
+	if _, err := New(alpha, []int{0, 3}); err == nil {
+		t.Fatal("New with out-of-range index: want error")
+	}
+	s, err := New(alpha, []int{0, 1, 2, 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if s.String() != "abcb" {
+		t.Fatalf("String = %q, want abcb", s.String())
+	}
+}
+
+func TestFromIndicesPanicsOnBadIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromIndices with bad index: want panic")
+		}
+	}()
+	FromIndices(alphabet.Letters(2), []uint16{0, 5})
+}
+
+func TestIndicator(t *testing.T) {
+	s := FromString("abab")
+	a, _ := s.Alphabet().Index("a")
+	ind := s.Indicator(a)
+	want := []float64{1, 0, 1, 0}
+	for i := range want {
+		if ind[i] != want[i] {
+			t.Fatalf("Indicator(a) = %v, want %v", ind, want)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	s := FromString("abcabbabcb")
+	got := s.Counts()
+	want := []int{3, 5, 2} // a, b, c
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Counts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := FromString("abcabbabcb")
+	sub := s.Slice(3, 6)
+	if sub.String() != "abb" {
+		t.Fatalf("Slice(3,6) = %q, want abb", sub.String())
+	}
+	if sub.Alphabet() != s.Alphabet() {
+		t.Fatal("Slice changed alphabet")
+	}
+}
+
+func TestProjectionInvalidPanics(t *testing.T) {
+	s := FromString("abc")
+	for _, c := range [][2]int{{0, 0}, {3, 3}, {2, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Projection(%d,%d): want panic", c[0], c[1])
+				}
+			}()
+			s.Projection(c[0], c[1])
+		}()
+	}
+}
+
+func TestF2SumOverPhasesEqualsMatchCountProperty(t *testing.T) {
+	// Σ_k Σ_l F2(k,p,l) must equal MatchCount(p) for every p.
+	f := func(seed int64, ln uint8, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(ln)%100 + 2
+		p := int(pRaw)%(n-1) + 1
+		idx := make([]uint16, n)
+		for i := range idx {
+			idx[i] = uint16(rng.Intn(3))
+		}
+		s := FromIndices(alphabet.Letters(3), idx)
+		sum := 0
+		for k := 0; k < 3; k++ {
+			for l := 0; l < p; l++ {
+				sum += s.F2(k, p, l)
+			}
+		}
+		return sum == s.MatchCount(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,398 @@
+package store
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"periodica/internal/alphabet"
+	"periodica/internal/core"
+	"periodica/internal/series"
+)
+
+// Options configure a store.
+type Options struct {
+	// Sigma is the alphabet size (1..26); symbols are indices 0..σ−1.
+	Sigma int
+	// MaxPeriod bounds the periods summarized per segment.
+	MaxPeriod int
+	// SegmentSize is the number of symbols per sealed segment; must be at
+	// least MaxPeriod so neighbouring summaries stitch exactly.
+	SegmentSize int
+}
+
+func (o Options) validate() error {
+	if o.Sigma < 1 || o.Sigma > 26 {
+		return fmt.Errorf("store: sigma %d outside [1,26]", o.Sigma)
+	}
+	if o.MaxPeriod < 1 {
+		return fmt.Errorf("store: maxPeriod %d < 1", o.MaxPeriod)
+	}
+	if o.SegmentSize < o.MaxPeriod {
+		return fmt.Errorf("store: segment size %d below maxPeriod %d", o.SegmentSize, o.MaxPeriod)
+	}
+	return nil
+}
+
+type manifest struct {
+	Version     int `json:"version"`
+	Sigma       int `json:"sigma"`
+	MaxPeriod   int `json:"maxPeriod"`
+	SegmentSize int `json:"segmentSize"`
+}
+
+// DB is an append-only, segmented symbol log with per-segment periodicity
+// summaries. Sealed segments are durable; the active segment lives in
+// memory until Flush or Close seals it (a crash loses at most the active
+// segment, never sealed data).
+type DB struct {
+	dir    string
+	opt    Options
+	alpha  *alphabet.Alphabet
+	sealed []*summary // in segment order
+	active []uint16
+	closed bool
+}
+
+// OpenExisting loads a store created earlier, taking its options from the
+// on-disk manifest.
+func OpenExisting(dir string) (*DB, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("store: no store at %s: %v", dir, err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("store: corrupt manifest: %v", err)
+	}
+	return Open(dir, Options{Sigma: m.Sigma, MaxPeriod: m.MaxPeriod, SegmentSize: m.SegmentSize})
+}
+
+// Sigma returns the store's alphabet size.
+func (db *DB) Sigma() int { return db.opt.Sigma }
+
+// MaxPeriod returns the store's summarized period bound.
+func (db *DB) MaxPeriod() int { return db.opt.MaxPeriod }
+
+// Open creates the store in dir (creating the directory if needed) or loads
+// an existing one. For an existing store, opt must match its manifest.
+func Open(dir string, opt Options) (*DB, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	db := &DB{dir: dir, opt: opt, alpha: alphabet.Letters(opt.Sigma)}
+
+	manifestPath := filepath.Join(dir, "manifest.json")
+	if raw, err := os.ReadFile(manifestPath); err == nil {
+		var m manifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, fmt.Errorf("store: corrupt manifest: %v", err)
+		}
+		if m.Sigma != opt.Sigma || m.MaxPeriod != opt.MaxPeriod || m.SegmentSize != opt.SegmentSize {
+			return nil, fmt.Errorf("store: options %+v do not match existing manifest %+v", opt, m)
+		}
+		if err := db.loadSegments(); err != nil {
+			return nil, err
+		}
+	} else if os.IsNotExist(err) {
+		raw, err := json.Marshal(manifest{Version: 1, Sigma: opt.Sigma, MaxPeriod: opt.MaxPeriod, SegmentSize: opt.SegmentSize})
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(manifestPath, raw, 0o644); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *DB) loadSegments() error {
+	entries, err := os.ReadDir(db.dir)
+	if err != nil {
+		return err
+	}
+	var segs []string
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".seg" {
+			segs = append(segs, e.Name())
+		}
+	}
+	sort.Strings(segs)
+	for i, name := range segs {
+		var want int
+		if _, err := fmt.Sscanf(name, "%d.seg", &want); err != nil || want != i {
+			return fmt.Errorf("store: segment file %q out of sequence (want index %d)", name, i)
+		}
+		sum, err := db.loadSummary(i)
+		if err != nil {
+			// Recovery: rebuild the summary from the segment data.
+			sum, err = db.rebuildSummary(i)
+			if err != nil {
+				return err
+			}
+			if err := db.writeSummary(i, sum); err != nil {
+				return err
+			}
+		}
+		db.sealed = append(db.sealed, sum)
+	}
+	return nil
+}
+
+func (db *DB) segPath(i int) string { return filepath.Join(db.dir, fmt.Sprintf("%08d.seg", i)) }
+func (db *DB) sumPath(i int) string { return filepath.Join(db.dir, fmt.Sprintf("%08d.sum", i)) }
+
+// summaryRecord is the on-disk form of a summary.
+type summaryRecord struct {
+	Version   int
+	Sigma     int
+	MaxPeriod int
+	Length    int
+	Head      []uint16
+	Tail      []uint16
+	F2        [][][]int32
+}
+
+func (db *DB) writeSummary(i int, s *summary) error {
+	f, err := os.Create(db.sumPath(i))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec := summaryRecord{Version: 1, Sigma: s.sigma, MaxPeriod: s.maxPeriod,
+		Length: s.length, Head: s.head, Tail: s.tail, F2: s.f2}
+	return gob.NewEncoder(f).Encode(rec)
+}
+
+func (db *DB) loadSummary(i int) (*summary, error) {
+	f, err := os.Open(db.sumPath(i))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rec summaryRecord
+	if err := gob.NewDecoder(f).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("store: corrupt summary %d: %v", i, err)
+	}
+	if rec.Sigma != db.opt.Sigma || rec.MaxPeriod != db.opt.MaxPeriod {
+		return nil, fmt.Errorf("store: summary %d shape mismatch", i)
+	}
+	return &summary{sigma: rec.Sigma, maxPeriod: rec.MaxPeriod, length: rec.Length,
+		head: rec.Head, tail: rec.Tail, f2: rec.F2}, nil
+}
+
+func (db *DB) rebuildSummary(i int) (*summary, error) {
+	f, err := os.Open(db.segPath(i))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := series.ReadBinary(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: segment %d unreadable: %v", i, err)
+	}
+	if s.Alphabet().Size() != db.opt.Sigma {
+		return nil, fmt.Errorf("store: segment %d alphabet mismatch", i)
+	}
+	return buildSummary(s.Indices(), db.opt.Sigma, db.opt.MaxPeriod), nil
+}
+
+// Append ingests symbol indices, sealing segments as they fill.
+func (db *DB) Append(symbols ...int) error {
+	if db.closed {
+		return fmt.Errorf("store: closed")
+	}
+	for _, k := range symbols {
+		if k < 0 || k >= db.opt.Sigma {
+			return fmt.Errorf("store: symbol index %d out of range [0,%d)", k, db.opt.Sigma)
+		}
+		db.active = append(db.active, uint16(k))
+		if len(db.active) == db.opt.SegmentSize {
+			if err := db.seal(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// seal persists the active segment and its summary.
+func (db *DB) seal() error {
+	idx := len(db.sealed)
+	f, err := os.Create(db.segPath(idx))
+	if err != nil {
+		return err
+	}
+	s := series.FromIndices(db.alpha, db.active)
+	if err := series.WriteBinary(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	sum := buildSummary(db.active, db.opt.Sigma, db.opt.MaxPeriod)
+	if err := db.writeSummary(idx, sum); err != nil {
+		return err
+	}
+	db.sealed = append(db.sealed, sum)
+	db.active = nil
+	return nil
+}
+
+// Flush seals the active segment even if it is not full (no-op when empty).
+func (db *DB) Flush() error {
+	if db.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if len(db.active) == 0 {
+		return nil
+	}
+	return db.seal()
+}
+
+// Close flushes and marks the store closed.
+func (db *DB) Close() error {
+	if db.closed {
+		return nil
+	}
+	if err := db.Flush(); err != nil {
+		return err
+	}
+	db.closed = true
+	return nil
+}
+
+// Len returns the total number of stored symbols, active segment included.
+func (db *DB) Len() int {
+	total := len(db.active)
+	for _, s := range db.sealed {
+		total += s.length
+	}
+	return total
+}
+
+// Segments returns the number of sealed segments.
+func (db *DB) Segments() int { return len(db.sealed) }
+
+// ReadRange loads the raw symbols of segments [fromSeg, toSeg) (plus the
+// active segment when toSeg == Segments()) back into one series — the slow
+// path for queries the summaries cannot answer, such as pattern mining.
+func (db *DB) ReadRange(fromSeg, toSeg int) (*series.Series, error) {
+	if fromSeg < 0 || toSeg < fromSeg || toSeg > len(db.sealed) {
+		return nil, fmt.Errorf("store: segment range [%d,%d) outside [0,%d]", fromSeg, toSeg, len(db.sealed))
+	}
+	var data []uint16
+	for i := fromSeg; i < toSeg; i++ {
+		f, err := os.Open(db.segPath(i))
+		if err != nil {
+			return nil, err
+		}
+		s, err := series.ReadBinary(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("store: segment %d unreadable: %v", i, err)
+		}
+		data = append(data, s.Indices()...)
+	}
+	if toSeg == len(db.sealed) {
+		data = append(data, db.active...)
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("store: empty range")
+	}
+	return series.FromIndices(db.alpha, data), nil
+}
+
+// Mine runs the full pattern miner over a segment range, reading the raw
+// symbols back from disk; use PeriodicitiesRange when only periodicities are
+// needed (summaries suffice there).
+func (db *DB) Mine(fromSeg, toSeg int, opt core.Options) (*core.Result, error) {
+	s, err := db.ReadRange(fromSeg, toSeg)
+	if err != nil {
+		return nil, err
+	}
+	if opt.MaxPeriod == 0 && db.opt.MaxPeriod < s.Len()/2 {
+		opt.MaxPeriod = db.opt.MaxPeriod
+	}
+	return core.Mine(s, opt)
+}
+
+// Periodicities answers over the whole history (sealed + active) at
+// threshold psi, from summaries alone.
+func (db *DB) Periodicities(psi float64) ([]core.SymbolPeriodicity, error) {
+	return db.PeriodicitiesRange(0, len(db.sealed), psi)
+}
+
+// PeriodicitiesRange answers over segments [fromSeg, toSeg) — with toSeg ==
+// Segments() including the active segment — by merging the stored summaries
+// left to right. Positions are phases relative to the range start.
+func (db *DB) PeriodicitiesRange(fromSeg, toSeg int, psi float64) ([]core.SymbolPeriodicity, error) {
+	if psi <= 0 || psi > 1 {
+		return nil, fmt.Errorf("store: threshold ψ=%v outside (0,1]", psi)
+	}
+	if fromSeg < 0 || toSeg < fromSeg || toSeg > len(db.sealed) {
+		return nil, fmt.Errorf("store: segment range [%d,%d) outside [0,%d]", fromSeg, toSeg, len(db.sealed))
+	}
+	var acc *summary
+	for i := fromSeg; i < toSeg; i++ {
+		if acc == nil {
+			acc = db.sealed[i].clone()
+			continue
+		}
+		if err := acc.merge(db.sealed[i]); err != nil {
+			return nil, err
+		}
+	}
+	if toSeg == len(db.sealed) && len(db.active) > 0 {
+		activeSum := buildSummary(db.active, db.opt.Sigma, db.opt.MaxPeriod)
+		if acc == nil {
+			acc = activeSum
+		} else if err := acc.merge(activeSum); err != nil {
+			return nil, err
+		}
+	}
+	if acc == nil {
+		return nil, nil
+	}
+	return acc.periodicities(psi), nil
+}
+
+// periodicities extracts the qualifying symbol periodicities of a summary.
+func (s *summary) periodicities(psi float64) []core.SymbolPeriodicity {
+	var out []core.SymbolPeriodicity
+	n := s.length
+	for p := 1; p <= s.maxPeriod && p < n; p++ {
+		for l := 0; l < p; l++ {
+			pairs := (n-l+p-1)/p - 1
+			if pairs < 1 {
+				continue
+			}
+			for k := 0; k < s.sigma; k++ {
+				if s.f2[k][p] == nil {
+					continue
+				}
+				f2 := int(s.f2[k][p][l])
+				if f2 == 0 {
+					continue
+				}
+				conf := float64(f2) / float64(pairs)
+				if conf >= psi {
+					out = append(out, core.SymbolPeriodicity{
+						Symbol: k, Period: p, Position: l,
+						F2: f2, Pairs: pairs, Confidence: conf,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package trends
+
+import (
+	"fmt"
+	"testing"
+
+	"periodica/internal/gen"
+)
+
+// BenchmarkTrends compares the exact distance evaluation with the sketched
+// estimator across repetition counts — the accuracy/cost ablation of the
+// baseline.
+func BenchmarkTrends(b *testing.B) {
+	s, _, err := gen.Generate(gen.Config{Length: 1 << 15, Period: 25, Sigma: 10, Dist: gen.Uniform,
+		Noise: gen.Replacement, NoiseRatio: 0.2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Exact(s, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, reps := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("sketched/reps=%d", reps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Sketched(s, 0, reps, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

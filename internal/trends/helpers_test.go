@@ -1,0 +1,5 @@
+package trends
+
+import "periodica/internal/alphabet"
+
+func seriesAlpha(sigma int) *alphabet.Alphabet { return alphabet.Letters(sigma) }

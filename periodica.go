@@ -1,0 +1,332 @@
+// Package periodica mines obscure periodic patterns in symbol time series:
+// periodic patterns whose period is unknown a priori, discovered as part of
+// the mining process itself. It implements the convolution-based one-pass
+// algorithm of Elfeky, Aref and Elmagarmid ("Using Convolution to Mine
+// Obscure Periodic Patterns in One Pass", EDBT 2004): the series is mapped
+// to a binary vector under a power-of-two symbol encoding, a modified
+// convolution — evaluated with FFTs in O(n log n) — compares the series
+// against every shift of itself at once, and the matches it encodes yield,
+// for every candidate period, the periodic symbols, their positions, and
+// candidate multi-symbol patterns with estimated support.
+//
+// Typical use:
+//
+//	s, err := periodica.NewSeriesFromString("abcabbabcb")
+//	res, err := periodica.Mine(s, periodica.Options{Threshold: 0.6})
+//	for _, pt := range res.Patterns {
+//		fmt.Println(pt.Text, pt.Support)
+//	}
+//
+// Numeric series are discretized first (DiscretizeEqualWidth,
+// DiscretizeBreakpoints, DiscretizeSAX) and irregular timestamped events are
+// binned with GridEvents; streams are mined in one pass with Stream, online
+// with Incremental (which also merges adjacent segments), and over a sliding
+// window with Monitor. CandidatePeriods runs only the O(σ n log n) detection
+// phase — also available over on-disk series (CandidatePeriodsFile, via an
+// out-of-core FFT) and in parallel (CandidatePeriodsParallel, MineParallel,
+// MineContext). Significant separates genuine structure from the
+// confident-looking flukes the paper's Definition 1 admits at large periods.
+package periodica
+
+import (
+	"fmt"
+
+	"periodica/internal/alphabet"
+	"periodica/internal/core"
+	"periodica/internal/discretize"
+	"periodica/internal/series"
+)
+
+// Series is a discretized symbol time series.
+type Series struct {
+	inner *series.Series
+}
+
+// NewSeries builds a series from a slice of symbols; the alphabet is the set
+// of distinct symbols in order of first appearance.
+func NewSeries(symbols []string) (*Series, error) {
+	if len(symbols) == 0 {
+		return nil, fmt.Errorf("periodica: empty series")
+	}
+	var distinct []string
+	seen := map[string]bool{}
+	for _, s := range symbols {
+		if !seen[s] {
+			seen[s] = true
+			distinct = append(distinct, s)
+		}
+	}
+	alpha, err := alphabet.New(distinct...)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(symbols))
+	for i, s := range symbols {
+		idx[i], _ = alpha.Index(s)
+	}
+	inner, err := series.New(alpha, idx)
+	if err != nil {
+		return nil, err
+	}
+	return &Series{inner: inner}, nil
+}
+
+// NewSeriesFromString builds a series of single-rune symbols; the alphabet is
+// the set of distinct runes in sorted order.
+func NewSeriesFromString(text string) (*Series, error) {
+	if text == "" {
+		return nil, fmt.Errorf("periodica: empty series")
+	}
+	return &Series{inner: series.FromString(text)}, nil
+}
+
+// DiscretizeEqualWidth discretizes numeric values into the given number of
+// equal-width levels over [min(values), max(values)], using single-letter
+// symbols "a", "b", … from lowest to highest level.
+func DiscretizeEqualWidth(values []float64, levels int) (*Series, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("periodica: no values")
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	scheme, err := discretize.NewEqualWidth(lo, hi, levels)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := scheme.Apply(values, alphabet.Letters(levels))
+	if err != nil {
+		return nil, err
+	}
+	return &Series{inner: inner}, nil
+}
+
+// DiscretizeBreakpoints discretizes numeric values with explicit ascending
+// breakpoints into len(breaks)+1 levels, using single-letter symbols "a",
+// "b", … from lowest to highest level.
+func DiscretizeBreakpoints(values, breaks []float64) (*Series, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("periodica: no values")
+	}
+	scheme, err := discretize.NewBreakpoints(breaks)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := scheme.Apply(values, alphabet.Letters(scheme.Levels()))
+	if err != nil {
+		return nil, err
+	}
+	return &Series{inner: inner}, nil
+}
+
+// Len returns the series length n.
+func (s *Series) Len() int { return s.inner.Len() }
+
+// Alphabet returns the symbols in level/index order.
+func (s *Series) Alphabet() []string { return s.inner.Alphabet().Symbols() }
+
+// String renders the series by concatenating its symbols.
+func (s *Series) String() string { return s.inner.String() }
+
+// Engine selects how the convolution components are evaluated.
+type Engine int
+
+const (
+	// EngineAuto picks FFT for long series and Naive for short ones.
+	EngineAuto Engine = iota
+	// EngineNaive rescans the series per candidate period (reference).
+	EngineNaive
+	// EngineBitset uses word-parallel AND/shift over the mapped vector.
+	EngineBitset
+	// EngineFFT is the paper's algorithm: per-symbol FFT autocorrelation
+	// plus on-demand phase resolution.
+	EngineFFT
+)
+
+func (e Engine) internal() core.Engine {
+	switch e {
+	case EngineNaive:
+		return core.EngineNaive
+	case EngineBitset:
+		return core.EngineBitset
+	case EngineFFT:
+		return core.EngineFFT
+	}
+	return core.EngineAuto
+}
+
+// Options configure Mine.
+type Options struct {
+	// Threshold is the periodicity threshold ψ ∈ (0,1]: the minimum
+	// confidence for a symbol periodicity and the minimum support for a
+	// pattern. Required.
+	Threshold float64
+	// MinPeriod and MaxPeriod bound the candidate periods; defaults 1 and
+	// n/2.
+	MinPeriod int
+	MaxPeriod int
+	// Engine selects the evaluation strategy.
+	Engine Engine
+	// MaxPatternPeriod caps the periods for which multi-symbol patterns are
+	// enumerated (default 128; negative disables multi-symbol mining).
+	MaxPatternPeriod int
+	// MaxPatterns caps the number of emitted multi-symbol patterns
+	// (default 10000).
+	MaxPatterns int
+	// MaximalOnly drops every multi-symbol pattern whose fixed symbols are
+	// a strict subset of another reported pattern of the same period.
+	MaximalOnly bool
+	// MinPairs requires at least this many consecutive projection slots
+	// behind a periodicity (default 1, the paper's semantics). With the
+	// default, a single recurrence at a barely-fitting period counts as
+	// confidence 1; raising MinPairs demands statistical mass and greatly
+	// reduces both output noise and work at large periods.
+	MinPairs int
+}
+
+func (o Options) internal() core.Options {
+	return core.Options{
+		Threshold:        o.Threshold,
+		MinPeriod:        o.MinPeriod,
+		MaxPeriod:        o.MaxPeriod,
+		Engine:           o.Engine.internal(),
+		MaxPatternPeriod: o.MaxPatternPeriod,
+		MaxPatterns:      o.MaxPatterns,
+		MinPairs:         o.MinPairs,
+	}
+}
+
+// Periodicity states that Symbol recurs every Period positions at offset
+// Position, with the given confidence (the fraction of consecutive
+// projection slots at which it held; Definition 1 of the paper).
+type Periodicity struct {
+	Symbol   string
+	Period   int
+	Position int
+	// Matches is F2: the consecutive projection pairs at which the symbol
+	// held; Pairs is the number of such pair slots (the denominator).
+	Matches    int
+	Pairs      int
+	Confidence float64
+}
+
+// Pattern is a periodic pattern of length Period. Text renders it with '*'
+// don't-cares (e.g. "ab*"); Support estimates the fraction of period
+// occurrences at which it held.
+type Pattern struct {
+	Period  int
+	Text    string
+	Support float64
+}
+
+// Result is the output of Mine.
+type Result struct {
+	// Periods lists the distinct detected period values, ascending.
+	Periods []int
+	// Periodicities lists every detected symbol periodicity.
+	Periodicities []Periodicity
+	// SingleSymbolPatterns are the Definition-2 patterns, one per
+	// periodicity.
+	SingleSymbolPatterns []Pattern
+	// Patterns are multi-symbol candidate patterns with support ≥ ψ.
+	Patterns []Pattern
+	// Truncated reports that MaxPatterns stopped pattern enumeration early.
+	Truncated bool
+}
+
+// Mine runs the obscure-periodic-pattern miner over s.
+func Mine(s *Series, opt Options) (*Result, error) {
+	res, err := core.Mine(s.inner, opt.internal())
+	if err != nil {
+		return nil, err
+	}
+	if opt.MaximalOnly {
+		res.Patterns = core.FilterMaximal(res.Patterns)
+	}
+	return convertResult(s, res), nil
+}
+
+func convertResult(s *Series, res *core.Result) *Result {
+	out := &Result{Periods: res.Periods, Truncated: res.PatternsTruncated}
+	alpha := s.inner.Alphabet()
+	for _, sp := range res.Periodicities {
+		out.Periodicities = append(out.Periodicities, Periodicity{
+			Symbol:     alpha.Symbol(sp.Symbol),
+			Period:     sp.Period,
+			Position:   sp.Position,
+			Matches:    sp.F2,
+			Pairs:      sp.Pairs,
+			Confidence: sp.Confidence,
+		})
+	}
+	for _, pt := range res.SingleSymbol {
+		out.SingleSymbolPatterns = append(out.SingleSymbolPatterns, Pattern{
+			Period: pt.Period, Text: pt.Render(alpha), Support: pt.Support,
+		})
+	}
+	for _, pt := range res.Patterns {
+		out.Patterns = append(out.Patterns, Pattern{
+			Period: pt.Period, Text: pt.Render(alpha), Support: pt.Support,
+		})
+	}
+	return out
+}
+
+// CandidatePeriods runs only the O(σ n log n) one-pass detection phase and
+// returns the period values at which some symbol could be periodic with
+// confidence ≥ threshold. maxPeriod 0 means n/2.
+func CandidatePeriods(s *Series, threshold float64, maxPeriod int) ([]int, error) {
+	cands, err := core.DetectCandidates(s.inner, threshold, maxPeriod)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.Period
+	}
+	return out, nil
+}
+
+// PeriodConfidence returns the minimum threshold at which period p would be
+// detected in s: the maximum confidence over all symbols and positions.
+func PeriodConfidence(s *Series, p int) float64 {
+	return core.PeriodConfidence(s.inner, p)
+}
+
+// Stream ingests a symbol stream one element at a time — the single pass the
+// paper requires — and mines the stream seen so far on Finish.
+type Stream struct {
+	inner *core.StreamMiner
+	wrap  *Series
+}
+
+// NewStream returns a stream miner over the given alphabet (symbol order
+// fixes level order).
+func NewStream(symbols ...string) (*Stream, error) {
+	alpha, err := alphabet.New(symbols...)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{inner: core.NewStreamMiner(alpha)}, nil
+}
+
+// Append ingests the next symbol.
+func (st *Stream) Append(symbol string) error { return st.inner.Append(symbol) }
+
+// Len returns the number of symbols ingested.
+func (st *Stream) Len() int { return st.inner.Len() }
+
+// Finish mines the stream ingested so far.
+func (st *Stream) Finish(opt Options) (*Result, error) {
+	res, err := st.inner.Finish(opt.internal())
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(&Series{inner: st.inner.Series()}, res), nil
+}

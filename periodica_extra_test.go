@@ -1,0 +1,471 @@
+package periodica_test
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"periodica"
+)
+
+func TestIncrementalPublicAPI(t *testing.T) {
+	inc, err := periodica.NewIncremental(10, "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if err := inc.Append(string(rune('a' + i%3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inc.Len() != 60 {
+		t.Fatalf("Len = %d", inc.Len())
+	}
+	pers, err := inc.Periodicities(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, sp := range pers {
+		if sp.Symbol == "a" && sp.Period == 3 && sp.Position == 0 && sp.Confidence == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("(a,3,0) missing: %+v", pers)
+	}
+	res, err := inc.Mine(periodica.Options{Threshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Periods) == 0 || res.Periods[0] != 3 {
+		t.Fatalf("Periods = %v", res.Periods)
+	}
+}
+
+func TestIncrementalMergePublicAPI(t *testing.T) {
+	a, _ := periodica.NewIncremental(8, "x", "y")
+	b, _ := periodica.NewIncremental(8, "x", "y")
+	whole, _ := periodica.NewIncremental(8, "x", "y")
+	stream := strings.Repeat("xyxyxxyy", 8)
+	half := len(stream) / 2
+	for i, r := range stream {
+		target := a
+		if i >= half {
+			target = b
+		}
+		if err := target.Append(string(r)); err != nil {
+			t.Fatal(err)
+		}
+		if err := whole.Append(string(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Different alphabet instances: merging across differently-built miners
+	// must fail…
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge across distinct alphabet instances: want error")
+	}
+	// …but the combined stream mined directly matches the whole.
+	resWhole, err := whole.Periodicities(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resWhole) == 0 {
+		t.Fatal("no periodicities in periodic stream")
+	}
+}
+
+func TestIncrementalValidatesPublic(t *testing.T) {
+	if _, err := periodica.NewIncremental(0, "a"); err == nil {
+		t.Fatal("maxPeriod 0: want error")
+	}
+	if _, err := periodica.NewIncremental(5, "a", "a"); err == nil {
+		t.Fatal("duplicate symbols: want error")
+	}
+	inc, _ := periodica.NewIncremental(5, "a")
+	if err := inc.Append("z"); err == nil {
+		t.Fatal("unknown symbol: want error")
+	}
+}
+
+func TestSeriesFileRoundTripAndExternalDetection(t *testing.T) {
+	s, err := periodica.NewSeriesFromString(strings.Repeat("abcd", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "series.bin")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := periodica.ReadSeriesFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != s.String() {
+		t.Fatal("file round trip changed the series")
+	}
+
+	onDisk, err := periodica.CandidatePeriodsFile(path, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inMem, err := periodica.CandidatePeriods(s, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(onDisk, inMem) {
+		t.Fatalf("on-disk %v != in-memory %v", onDisk, inMem)
+	}
+}
+
+func TestCandidatePeriodsParallelMatchesSerial(t *testing.T) {
+	s, err := periodica.NewSeriesFromString(strings.Repeat("aabcbb", 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := periodica.CandidatePeriods(s, 0.8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := periodica.CandidatePeriodsParallel(s, 0.8, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel candidates differ")
+	}
+}
+
+func TestCounterPublic(t *testing.T) {
+	c, err := periodica.NewCounter(8, "on", "off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		sym := "on"
+		if i%4 != 0 {
+			sym = "off"
+		}
+		if err := c.Append(sym); err != nil {
+			t.Fatal(err)
+		}
+	}
+	memAt4000 := c.MemoryBytes()
+	for i := 0; i < 40000; i++ {
+		_ = c.Append("off")
+	}
+	if c.MemoryBytes() != memAt4000 {
+		t.Fatal("counter memory grew with stream length")
+	}
+	if c.Len() != 44000 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	pers, err := c.Periodicities(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, sp := range pers {
+		if sp.Symbol == "on" && sp.Period == 4 && sp.Position == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("period-4 on-beat missing from counter answers")
+	}
+	if err := c.Append("boom"); err == nil {
+		t.Fatal("unknown symbol: want error")
+	}
+	if _, err := periodica.NewCounter(0, "a"); err == nil {
+		t.Fatal("maxPeriod 0: want error")
+	}
+}
+
+func TestDescribePublic(t *testing.T) {
+	s, err := periodica.NewSeriesFromString("ababab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := periodica.Periodicity{Symbol: "b", Period: 24, Position: 7, Matches: 4, Pairs: 5, Confidence: 0.8}
+	got := s.Describe(sp, []string{"zero", "under 200 transactions"}, "hour", "day")
+	want := "under 200 transactions occurs in hour 7 of the day for 80% of the cycles"
+	if got != want {
+		t.Fatalf("Describe = %q, want %q", got, want)
+	}
+	if got := s.Describe(periodica.Periodicity{Symbol: "z"}, nil, "", ""); got != `unknown symbol "z"` {
+		t.Fatalf("unknown symbol: %q", got)
+	}
+}
+
+func TestMinPairsPublicPassthrough(t *testing.T) {
+	// abcab: with MinPairs high enough, the thin large-period periodicities
+	// disappear while the well-supported small period stays.
+	s, err := periodica.NewSeriesFromString(strings.Repeat("abcab", 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := periodica.Mine(s, periodica.Options{Threshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := periodica.Mine(s, periodica.Options{Threshold: 0.9, MinPairs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict.Periodicities) >= len(loose.Periodicities) {
+		t.Fatalf("MinPairs removed nothing: %d vs %d", len(strict.Periodicities), len(loose.Periodicities))
+	}
+	for _, sp := range strict.Periodicities {
+		if sp.Pairs < 10 {
+			t.Fatalf("low-mass periodicity survived: %+v", sp)
+		}
+	}
+	has5 := false
+	for _, p := range strict.Periods {
+		if p == 5 {
+			has5 = true
+		}
+	}
+	if !has5 {
+		t.Fatal("the embedded period 5 was lost")
+	}
+}
+
+func TestMineContextPublic(t *testing.T) {
+	s, err := periodica.NewSeriesFromString(strings.Repeat("ab", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := periodica.MineContext(context.Background(), s, periodica.Options{Threshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Periods) == 0 || res.Periods[0] != 2 {
+		t.Fatalf("Periods = %v", res.Periods)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := periodica.MineContext(ctx, s, periodica.Options{Threshold: 0.9}); err == nil {
+		t.Fatal("cancelled context: want error")
+	}
+}
+
+func TestGridEventsPublic(t *testing.T) {
+	start := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	var events []periodica.Event
+	for m := 0; m < 600; m += 10 {
+		events = append(events, periodica.Event{Time: start.Add(time.Duration(m) * time.Minute), Symbol: "p"})
+	}
+	s, err := periodica.GridEvents(events, time.Minute, "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf := periodica.PeriodConfidence(s, 10); conf < 0.95 {
+		t.Fatalf("period 10 confidence %v from gridded events", conf)
+	}
+	if _, err := periodica.GridEvents(nil, time.Minute, "i"); err == nil {
+		t.Fatal("no events: want error")
+	}
+}
+
+func TestDiscretizeSAXPublic(t *testing.T) {
+	values := make([]float64, 240)
+	for i := range values {
+		values[i] = 50 + 20*float64(i%12) // strong period-12 sawtooth
+	}
+	s, err := periodica.DiscretizeSAX(values, periodica.SAXOptions{Levels: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 240 || len(s.Alphabet()) != 4 {
+		t.Fatalf("len=%d σ=%d", s.Len(), len(s.Alphabet()))
+	}
+	if conf := periodica.PeriodConfidence(s, 12); conf < 0.9 {
+		t.Fatalf("period 12 confidence %v after SAX", conf)
+	}
+	if _, err := periodica.DiscretizeSAX(nil, periodica.SAXOptions{}); err == nil {
+		t.Fatal("empty values: want error")
+	}
+}
+
+func TestSignificantPublic(t *testing.T) {
+	// Strong period-8 structure for symbol a over random other symbols.
+	data := make([]byte, 1600)
+	rng := []byte("bcd")
+	for i := range data {
+		data[i] = rng[i%3]
+		if i%8 == 0 {
+			data[i] = 'a'
+		}
+	}
+	s, err := periodica.NewSeriesFromString(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := periodica.Mine(s, periodica.Options{Threshold: 0.9, MaxPatternPeriod: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, err := periodica.Significant(s, res, 0.01, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) == 0 || len(kept) >= len(res.Periodicities) {
+		t.Fatalf("significance kept %d of %d", len(kept), len(res.Periodicities))
+	}
+	found := false
+	for _, sp := range kept {
+		if sp.Symbol == "a" && sp.Period == 8 && sp.Position == 0 {
+			found = true
+			if sp.PValue > 1e-10 {
+				t.Fatalf("embedded p-value %v", sp.PValue)
+			}
+		}
+		if sp.Pairs < 2 {
+			t.Fatalf("low-mass fluke survived: %+v", sp)
+		}
+	}
+	if !found {
+		t.Fatal("embedded periodicity not kept")
+	}
+	if _, err := periodica.Significant(s, res, 0, false); err == nil {
+		t.Fatal("alpha 0: want error")
+	}
+}
+
+func TestMonitorSlidingWindow(t *testing.T) {
+	m, err := periodica.NewMonitor(6, 30, "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(pattern string, reps int) {
+		for i := 0; i < reps; i++ {
+			for _, r := range pattern {
+				if err := m.Append(string(r)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	feed("abc", 30)
+	pers, err := m.Periodicities(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has3 := false
+	for _, sp := range pers {
+		if sp.Period == 3 {
+			has3 = true
+		}
+	}
+	if !has3 {
+		t.Fatal("period 3 not visible in window")
+	}
+	// Regime change: after the window slides fully, the old rhythm is gone.
+	feed("ab", 60)
+	pers, err = m.Periodicities(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range pers {
+		if sp.Period == 3 && sp.Symbol == "c" {
+			t.Fatal("stale period-3 c periodicity survived the window")
+		}
+	}
+	if m.Len() != 30 {
+		t.Fatalf("window Len = %d, want 30", m.Len())
+	}
+}
+
+func TestMonitorValidates(t *testing.T) {
+	if _, err := periodica.NewMonitor(5, 5, "a"); err == nil {
+		t.Fatal("window ≤ maxPeriod: want error")
+	}
+	m, _ := periodica.NewMonitor(5, 20, "a")
+	if err := m.Append("z"); err == nil {
+		t.Fatal("unknown symbol: want error")
+	}
+}
+
+func TestMineParallelPublicMatchesSerial(t *testing.T) {
+	s, err := periodica.NewSeriesFromString(strings.Repeat("abcda", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := periodica.Mine(s, periodica.Options{Threshold: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := periodica.MineParallel(s, periodica.Options{Threshold: 0.8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("parallel public Mine differs from serial")
+	}
+}
+
+func TestMineDatabasePublic(t *testing.T) {
+	var db []*periodica.Series
+	for i := 0; i < 5; i++ {
+		s, err := periodica.NewSeriesFromString(strings.Repeat("abcab", 50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		db = append(db, s)
+	}
+	pats, err := periodica.MineDatabase(db, periodica.Options{Threshold: 0.8, MaxPeriod: 10, MaxPatternPeriod: 10}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) == 0 {
+		t.Fatal("no shared patterns")
+	}
+	found := false
+	for _, dp := range pats {
+		if dp.Text == "abcab" && dp.Sequences == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("abcab not shared by all 5 sequences: %+v", pats)
+	}
+}
+
+func TestMineDatabaseMixedAlphabets(t *testing.T) {
+	a, _ := periodica.NewSeriesFromString("ababab")
+	z, _ := periodica.NewSeriesFromString("zxzxzx")
+	if _, err := periodica.MineDatabase([]*periodica.Series{a, z}, periodica.Options{Threshold: 0.5}, 0.5); err == nil {
+		t.Fatal("incompatible alphabets: want error")
+	}
+	if _, err := periodica.MineDatabase(nil, periodica.Options{Threshold: 0.5}, 0.5); err == nil {
+		t.Fatal("empty database: want error")
+	}
+}
+
+func TestFilterMaximalPublic(t *testing.T) {
+	s, err := periodica.NewSeriesFromString(strings.Repeat("abc", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := periodica.Options{Threshold: 0.8, MinPeriod: 3, MaxPeriod: 3}
+	full, err := periodica.Mine(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.MaximalOnly = true
+	maximal, err := periodica.Mine(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maximal.Patterns) != 1 || maximal.Patterns[0].Text != "abc" {
+		t.Fatalf("maximal patterns = %+v, want [abc]", maximal.Patterns)
+	}
+	if len(full.Patterns) <= len(maximal.Patterns) {
+		t.Fatal("filter removed nothing")
+	}
+}
