@@ -13,13 +13,15 @@
 //	opbench all
 //
 // The default scale finishes in minutes; -full restores the paper's
-// 1M-symbol, 100-run settings (hours).
+// 1M-symbol, 100-run settings (hours). -workers caps the cores the batched
+// detection engine may use (default: all).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"periodica/internal/cimeg"
 	"periodica/internal/expr"
@@ -52,8 +54,14 @@ var fullScale = scale{
 func main() {
 	full := flag.Bool("full", false, "paper-scale settings (1M symbols, 100 runs)")
 	seed := flag.Int64("seed", 1, "base random seed")
+	workers := flag.Int("workers", 0, "cap worker goroutines for the detection engine (0 = all cores)")
 	flag.Parse()
 
+	if *workers > 0 {
+		// The batched engine sizes its pools from GOMAXPROCS, so capping it
+		// here bounds both the per-pair fan-out and the parallel butterflies.
+		runtime.GOMAXPROCS(*workers)
+	}
 	sc := quickScale
 	if *full {
 		sc = fullScale

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"periodica/internal/alphabet"
+	"periodica/internal/fft"
 	"periodica/internal/series"
 )
 
@@ -37,6 +38,32 @@ func BenchmarkLagMatchCounts(b *testing.B) {
 			LagMatchCountsNaive(s)
 		}
 	})
+}
+
+// BenchmarkAutocorrelateBatched is the detection sweep's inner loop at
+// benchmark scale: σ indicators through pair-packed planned FFTs, at several
+// worker counts, against the unbatched per-symbol form.
+func BenchmarkAutocorrelateBatched(b *testing.B) {
+	for _, n := range []int{1 << 15, 1 << 17} {
+		s := benchSeries(n, 10)
+		b.Run(fmt.Sprintf("batched-serial/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				LagMatchCountsBatched(s, 1)
+			}
+		})
+		b.Run(fmt.Sprintf("batched-parallel/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				LagMatchCountsBatched(s, 0)
+			}
+		})
+		b.Run(fmt.Sprintf("per-symbol/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < s.Alphabet().Size(); k++ {
+					fft.AutocorrelateCounts(s.Indicator(k))
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkComponentExtraction(b *testing.B) {

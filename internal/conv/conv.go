@@ -220,42 +220,67 @@ func (ind *Indicators) F2Counts(k, p int, scratch *bitvec.Vector) []int {
 // LagMatchCounts returns, for every symbol k and every lag p in [0, n),
 // r[k][p] = |{i : t_i = t_{i+p} = s_k}| = Σ_l F2(s_k, π_{p,l}(T)), computed
 // in O(σ n log n) total with pair-packed FFTs: two symbols' indicators share
-// one forward and one inverse transform.
+// one forward and one inverse transform. It is the serial form of
+// LagMatchCountsBatched; the counts are identical at any worker count.
 func LagMatchCounts(s *series.Series) [][]int64 {
-	sigma := s.Alphabet().Size()
-	out := make([][]int64, sigma)
-	for k := 0; k+1 < sigma; k += 2 {
-		out[k], out[k+1] = fft.AutocorrelateCountsPair(s.Indicator(k), s.Indicator(k+1))
-	}
-	if sigma%2 == 1 {
-		out[sigma-1] = fft.AutocorrelateCounts(s.Indicator(sigma - 1))
-	}
-	return out
+	return LagMatchCountsBatched(s, 1)
 }
 
 // LagMatchCountsParallel is LagMatchCounts with the pair-packed FFTs spread
 // over the given number of goroutines (0 means GOMAXPROCS).
 func LagMatchCountsParallel(s *series.Series, workers int) [][]int64 {
-	sigma := s.Alphabet().Size()
+	return LagMatchCountsBatched(s, workers)
+}
+
+// LagMatchCountsBatched is the batched autocorrelation driver behind the
+// detection sweep: the σ indicator vectors are packed into ⌈σ/2⌉ pair
+// transforms, scheduled across a pool of `workers` goroutines (0 means
+// GOMAXPROCS) that share one cached fft.Plan. Each worker reuses a pair of
+// indicator buffers, and any workers left over after the pairs are assigned
+// go to parallel butterflies inside the transforms, so both wide-alphabet
+// and long-series workloads keep every core busy. The counts are exact
+// integers and bit-identical for every worker count.
+func LagMatchCountsBatched(s *series.Series, workers int) [][]int64 {
+	n, sigma := s.Len(), s.Alphabet().Size()
+	out := make([][]int64, sigma)
+	if sigma == 0 {
+		return out
+	}
+	flat := make([]int64, sigma*n)
+	for k := range out {
+		out[k] = flat[k*n : (k+1)*n : (k+1)*n]
+	}
+	if n == 0 {
+		return out
+	}
+	plan := fft.PlanFor(fft.NextPow2(2 * n))
 	pairs := (sigma + 1) / 2
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > pairs {
-		workers = pairs
+	outer := workers
+	if outer > pairs {
+		outer = pairs
 	}
-	out := make([][]int64, sigma)
+	// Cores not consumed by pair-level parallelism parallelize the
+	// butterflies of each transform instead.
+	inner := workers / outer
+
 	var wg sync.WaitGroup
 	next := make(chan int)
-	for w := 0; w < workers; w++ {
+	for w := 0; w < outer; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			x1 := make([]float64, n)
+			x2 := make([]float64, n)
 			for k := range next {
+				s.IndicatorInto(k, x1)
 				if k+1 < sigma {
-					out[k], out[k+1] = fft.AutocorrelateCountsPair(s.Indicator(k), s.Indicator(k+1))
+					s.IndicatorInto(k+1, x2)
+					plan.AutocorrelateCountsPairInto(x1, x2, out[k], out[k+1], inner)
 				} else {
-					out[k] = fft.AutocorrelateCounts(s.Indicator(k))
+					plan.AutocorrelateCountsInto(x1, out[k], inner)
 				}
 			}
 		}()

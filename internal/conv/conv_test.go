@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"periodica/internal/alphabet"
+	"periodica/internal/fft"
 	"periodica/internal/series"
 )
 
@@ -319,4 +320,87 @@ func TestUnmodifiedMatchCountViaWp(t *testing.T) {
 	if got := s.MatchCount(1); got != 3 {
 		t.Fatalf("MatchCount(1) = %d, want 3", got)
 	}
+}
+
+// TestLagMatchCountsBatchedMatchesPerSymbol pins the batched pair-packed
+// driver against independent per-symbol FFT autocorrelations and the naive
+// quadratic count: all three must agree bit-for-bit on randomized series, at
+// every worker count and for odd and even alphabet sizes (the odd tail takes
+// the single-symbol path).
+func TestLagMatchCountsBatchedMatchesPerSymbol(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, sigma := range []int{1, 2, 3, 5, 8} {
+		n := rng.Intn(400) + 50
+		idx := make([]uint16, n)
+		for i := range idx {
+			idx[i] = uint16(rng.Intn(sigma))
+		}
+		s := series.FromIndices(alphabet.Letters(sigma), idx)
+		naive := LagMatchCountsNaive(s)
+		perSymbol := make([][]int64, sigma)
+		for k := 0; k < sigma; k++ {
+			perSymbol[k] = fft.AutocorrelateCounts(s.Indicator(k))
+		}
+		for _, workers := range []int{0, 1, 2, 3, 16} {
+			got := LagMatchCountsBatched(s, workers)
+			for k := 0; k < sigma; k++ {
+				for p := 0; p < n; p++ {
+					if got[k][p] != perSymbol[k][p] {
+						t.Fatalf("σ=%d workers=%d: r_%d(%d) batched=%d per-symbol=%d",
+							sigma, workers, k, p, got[k][p], perSymbol[k][p])
+					}
+					if got[k][p] != naive[k][p] {
+						t.Fatalf("σ=%d workers=%d: r_%d(%d) batched=%d naive=%d",
+							sigma, workers, k, p, got[k][p], naive[k][p])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLagMatchCountsBatchedDegenerate covers empty series and σ larger than
+// the worker count.
+func TestLagMatchCountsBatchedDegenerate(t *testing.T) {
+	s := series.FromIndices(alphabet.Letters(3), nil)
+	out := LagMatchCountsBatched(s, 4)
+	if len(out) != 3 {
+		t.Fatalf("empty series: %d rows, want 3", len(out))
+	}
+	for k, row := range out {
+		if len(row) != 0 {
+			t.Fatalf("empty series: row %d has length %d", k, len(row))
+		}
+	}
+}
+
+// FuzzLagMatchCountsBatched cross-checks batched counts against the naive
+// quadratic form on fuzz-generated series.
+func FuzzLagMatchCountsBatched(f *testing.F) {
+	f.Add([]byte("abcabbabcb"), uint8(3))
+	f.Add([]byte{0, 1, 2, 3, 4, 0, 1, 2, 3, 4}, uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, workers uint8) {
+		if len(data) == 0 || len(data) > 512 {
+			t.Skip()
+		}
+		sigma := 0
+		idx := make([]uint16, len(data))
+		for i, b := range data {
+			k := int(b) % 8
+			idx[i] = uint16(k)
+			if k+1 > sigma {
+				sigma = k + 1
+			}
+		}
+		s := series.FromIndices(alphabet.Letters(sigma), idx)
+		got := LagMatchCountsBatched(s, int(workers)%5)
+		want := LagMatchCountsNaive(s)
+		for k := range want {
+			for p := range want[k] {
+				if got[k][p] != want[k][p] {
+					t.Fatalf("r_%d(%d) = %d, want %d", k, p, got[k][p], want[k][p])
+				}
+			}
+		}
+	})
 }

@@ -23,7 +23,9 @@ type CandidatePeriod struct {
 // r_k(p) ≥ ψ·minPairs(p) (a necessary condition for Definition 1, since
 // F2(s_k, π_{p,l}) ≤ r_k(p) for every position l). Total cost O(σ n log n) —
 // the phase the paper's Fig. 5 times against the periodic-trends baseline,
-// whose output is likewise a set of candidate periods. Exact positions and
+// whose output is likewise a set of candidate periods. The FFT stage runs
+// through the batched planned engine on all cores; the counts (and hence the
+// candidates) are identical to the serial sweep. Exact positions and
 // confidences for a candidate are resolved on demand with Mine over a
 // restricted period range, or Confidencer.
 func DetectCandidates(s *series.Series, psi float64, maxPeriod int) ([]CandidatePeriod, error) {
@@ -37,7 +39,7 @@ func DetectCandidates(s *series.Series, psi float64, maxPeriod int) ([]Candidate
 	if maxPeriod < 1 || maxPeriod >= n {
 		return nil, fmt.Errorf("core: maxPeriod %d outside [1,%d)", maxPeriod, n)
 	}
-	lag := conv.LagMatchCounts(s)
+	lag := conv.LagMatchCountsBatched(s, 0)
 	var out []CandidatePeriod
 	for p := 1; p <= maxPeriod; p++ {
 		minPairs := pairsAt(n, p, p-1)

@@ -29,7 +29,9 @@ func newDetector(s *series.Series, eng Engine) *detector {
 		d.ind = conv.NewIndicators(s)
 	case EngineFFT:
 		d.ind = conv.NewIndicators(s)
-		d.lag = conv.LagMatchCounts(s)
+		// The batched planned engine returns the same exact counts as the
+		// serial sweep, so the detector's results are unchanged.
+		d.lag = conv.LagMatchCountsBatched(s, 0)
 	}
 	return d
 }

@@ -79,7 +79,7 @@ func MineParallel(s *series.Series, opt Options, workers int) (*Result, error) {
 	ind := conv.NewIndicators(s)
 	var lag [][]int64
 	if eng == EngineFFT {
-		lag = conv.LagMatchCountsParallel(s, workers)
+		lag = conv.LagMatchCountsBatched(s, workers)
 	}
 
 	span := opt.MaxPeriod - opt.MinPeriod + 1
@@ -149,7 +149,7 @@ func ParallelDetectCandidates(s *series.Series, psi float64, maxPeriod, workers 
 	if maxPeriod < 1 || maxPeriod >= n {
 		return nil, fmt.Errorf("core: maxPeriod %d outside [1,%d)", maxPeriod, n)
 	}
-	lag := conv.LagMatchCountsParallel(s, workers)
+	lag := conv.LagMatchCountsBatched(s, workers)
 	var out []CandidatePeriod
 	for p := 1; p <= maxPeriod; p++ {
 		minPairs := pairsAt(n, p, p-1)

@@ -165,6 +165,10 @@ func transpose(src, dst *os.File, rows, cols, tile int) error {
 func rowPass(f *os.File, rows, rowLen int, inverse bool, twiddleN, memElements int) error {
 	batch := max(1, memElements/(2*rowLen))
 	buf := make([]complex128, batch*rowLen)
+	// All rows share one length, so one cached plan serves the whole pass —
+	// the twiddle tables and bit-reversal permutation are built once, not
+	// once per row.
+	plan := PlanFor(rowLen)
 	for r0 := 0; r0 < rows; r0 += batch {
 		rh := min(batch, rows-r0)
 		chunk := buf[:rh*rowLen]
@@ -175,9 +179,9 @@ func rowPass(f *os.File, rows, rowLen int, inverse bool, twiddleN, memElements i
 		for i := 0; i < rh; i++ {
 			row := chunk[i*rowLen : (i+1)*rowLen]
 			if inverse {
-				Inverse(row)
+				plan.Inverse(row)
 			} else {
-				Forward(row)
+				plan.Forward(row)
 			}
 			if twiddleN > 0 {
 				c := r0 + i

@@ -1,8 +1,10 @@
 // Package fft implements the fast Fourier transform and the convolution and
 // correlation primitives the miner builds on. The transform is an iterative
-// in-place radix-2 decimation-in-time FFT over []complex128; helpers cover
-// linear convolution and autocorrelation of real sequences, which is how the
-// paper evaluates its modified convolution in O(n log n).
+// in-place radix-2 decimation-in-time FFT over []complex128, executed through
+// cached per-size plans (see plan.go) that precompute twiddle tables and the
+// bit-reversal permutation; helpers cover linear convolution and
+// autocorrelation of real sequences, which is how the paper evaluates its
+// modified convolution in O(n log n).
 package fft
 
 import (
@@ -23,21 +25,19 @@ func NextPow2(n int) int {
 func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
 // Forward computes the in-place forward DFT of x. len(x) must be a power of
-// two.
-func Forward(x []complex128) { transform(x, false) }
+// two. It runs through the cached plan for len(x).
+func Forward(x []complex128) { PlanFor(len(x)).Forward(x) }
 
 // Inverse computes the in-place inverse DFT of x, including the 1/n scaling.
 // len(x) must be a power of two.
-func Inverse(x []complex128) {
-	transform(x, true)
-	inv := 1 / float64(len(x))
-	for i := range x {
-		x[i] = complex(real(x[i])*inv, imag(x[i])*inv)
-	}
-}
+func Inverse(x []complex128) { PlanFor(len(x)).Inverse(x) }
 
-// transform runs the radix-2 iterative Cooley-Tukey butterfly network.
-func transform(x []complex128, inverse bool) {
+// transformRecurrence is the pre-plan radix-2 network that regenerates each
+// stage's twiddles with the w *= wStep recurrence. It is retained as the
+// accuracy and performance baseline the plan is tested against (the
+// recurrence accumulates rounding error with every butterfly of a stage,
+// the tables do not).
+func transformRecurrence(x []complex128, inverse bool) {
 	n := len(x)
 	if !IsPow2(n) {
 		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
@@ -71,6 +71,12 @@ func transform(x []complex128, inverse bool) {
 			}
 		}
 	}
+	if inverse {
+		inv := 1 / float64(n)
+		for i := range x {
+			x[i] = complex(real(x[i])*inv, imag(x[i])*inv)
+		}
+	}
 }
 
 // Convolve returns the linear convolution of real sequences a and b:
@@ -82,70 +88,48 @@ func Convolve(a, b []float64) []float64 {
 	}
 	outLen := len(a) + len(b) - 1
 	m := NextPow2(outLen)
-	fa := make([]complex128, m)
-	fb := make([]complex128, m)
-	for i, v := range a {
-		fa[i] = complex(v, 0)
-	}
-	for i, v := range b {
-		fb[i] = complex(v, 0)
-	}
-	Forward(fa)
-	Forward(fb)
+	p := PlanFor(m)
+	fap, fbp := p.scratch(), p.scratch()
+	fa, fb := *fap, *fbp
+	loadPadded(fa, a)
+	loadPadded(fb, b)
+	p.Forward(fa)
+	p.Forward(fb)
 	for i := range fa {
 		fa[i] *= fb[i]
 	}
-	Inverse(fa)
+	p.Inverse(fa)
 	out := make([]float64, outLen)
 	for i := range out {
 		out[i] = real(fa[i])
 	}
+	p.release(fap)
+	p.release(fbp)
 	return out
 }
 
 // CrossCorrelate returns r[p] = Σ_i a[i]·b[i+p] for p = 0..len(b)-1, treating
-// out-of-range terms as zero. With a == b this is the (non-circular)
-// autocorrelation used to count lag-p symbol matches.
+// out-of-range terms as zero. With a == b (the same slice) this is the
+// (non-circular) autocorrelation used to count lag-p symbol matches, and the
+// plan's self-correlation path saves one forward transform.
 func CrossCorrelate(a, b []float64) []float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return nil
 	}
-	m := NextPow2(len(a) + len(b))
-	fa := make([]complex128, m)
-	fb := make([]complex128, m)
-	for i, v := range a {
-		fa[i] = complex(v, 0)
-	}
-	for i, v := range b {
-		fb[i] = complex(v, 0)
-	}
-	Forward(fa)
-	Forward(fb)
-	for i := range fa {
-		// conj(FFT(a)) · FFT(b) gives correlation at non-negative lags.
-		ar, ai := real(fa[i]), imag(fa[i])
-		fa[i] = complex(ar, -ai) * fb[i]
-	}
-	Inverse(fa)
-	out := make([]float64, len(b))
-	for p := range out {
-		out[p] = real(fa[p])
-	}
-	return out
+	return PlanFor(NextPow2(len(a)+len(b))).CrossCorrelate(a, b)
 }
 
 // AutocorrelateCounts returns r[p] = Σ_i x[i]·x[i+p] for p = 0..len(x)-1,
 // rounded to the nearest integer. It is intended for 0/1 indicator vectors,
 // where r[p] is the exact number of lag-p matches; rounding removes FFT
 // round-off (the error is far below 0.5 for any series that fits in memory,
-// and ValidateCountPrecision makes the bound checkable).
+// and ValidateCountPrecision makes the bound checkable). It costs one forward
+// and one inverse transform.
 func AutocorrelateCounts(x []float64) []int64 {
-	r := CrossCorrelate(x, x)
-	out := make([]int64, len(r))
-	for i, v := range r {
-		out[i] = int64(math.Round(v))
+	if len(x) == 0 {
+		return nil
 	}
-	return out
+	return PlanFor(NextPow2(2 * len(x))).AutocorrelateCounts(x)
 }
 
 // AutocorrelateCountsPair computes the autocorrelation counts of two 0/1
@@ -154,44 +138,15 @@ func AutocorrelateCounts(x []float64) []int64 {
 // of one complex vector, the two spectra are separated by Hermitian
 // symmetry, and both (real) autocorrelations travel back through one inverse
 // transform packed the same way. Identical results to two AutocorrelateCounts
-// calls at roughly a third of the transforms.
+// calls at half the transforms.
 func AutocorrelateCountsPair(x1, x2 []float64) ([]int64, []int64) {
 	if len(x1) != len(x2) {
 		panic(fmt.Sprintf("fft: pair length mismatch %d vs %d", len(x1), len(x2)))
 	}
-	n := len(x1)
-	if n == 0 {
+	if len(x1) == 0 {
 		return nil, nil
 	}
-	m := NextPow2(2 * n)
-	z := make([]complex128, m)
-	for i := 0; i < n; i++ {
-		z[i] = complex(x1[i], x2[i])
-	}
-	Forward(z)
-	// Z(k) = X1(k) + i·X2(k) with X1, X2 the transforms of the real inputs:
-	// X1(k) = (Z(k) + conj(Z(m−k)))/2, X2(k) = (Z(k) − conj(Z(m−k)))/(2i).
-	// The packed spectrum of the pair of autocorrelations is
-	// |X1(k)|² + i·|X2(k)|², inverse-transformed in one go.
-	spec := make([]complex128, m)
-	for k := 0; k < m; k++ {
-		zk := z[k]
-		zmk := z[(m-k)%m]
-		cr := complex(real(zmk), -imag(zmk))
-		a := (zk + cr) / 2             // X1(k)
-		b := (zk - cr) / complex(0, 2) // X2(k)
-		p1 := real(a)*real(a) + imag(a)*imag(a)
-		p2 := real(b)*real(b) + imag(b)*imag(b)
-		spec[k] = complex(p1, p2)
-	}
-	Inverse(spec)
-	out1 := make([]int64, n)
-	out2 := make([]int64, n)
-	for p := 0; p < n; p++ {
-		out1[p] = int64(math.Round(real(spec[p])))
-		out2[p] = int64(math.Round(imag(spec[p])))
-	}
-	return out1, out2
+	return PlanFor(NextPow2(2*len(x1))).AutocorrelateCountsPair(x1, x2)
 }
 
 // ValidateCountPrecision reports the worst absolute deviation from an integer
@@ -206,5 +161,31 @@ func ValidateCountPrecision(x []float64) float64 {
 			worst = d
 		}
 	}
+	return worst
+}
+
+// ValidateCountPrecisionPair is ValidateCountPrecision for the pair-packed
+// path: it reports the worst deviation from an integer across both raw
+// (pre-rounding) autocorrelations of the packed transform of x1 and x2.
+func ValidateCountPrecisionPair(x1, x2 []float64) float64 {
+	if len(x1) != len(x2) {
+		panic(fmt.Sprintf("fft: pair length mismatch %d vs %d", len(x1), len(x2)))
+	}
+	n := len(x1)
+	if n == 0 {
+		return 0
+	}
+	p := PlanFor(NextPow2(2 * n))
+	specp := p.pairSpectrum(x1, x2, p.autoWorkers())
+	spec := *specp
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		for _, v := range [2]float64{real(spec[i]), imag(spec[i])} {
+			if d := math.Abs(v - math.Round(v)); d > worst {
+				worst = d
+			}
+		}
+	}
+	p.release(specp)
 	return worst
 }

@@ -1,0 +1,516 @@
+// Plan-based FFT engine. A Plan precomputes, for one power-of-two size,
+// everything the transform would otherwise recompute per call — the
+// bit-reversal permutation and per-stage twiddle-factor tables (each root
+// evaluated directly with math.Cos/Sin rather than the error-accumulating
+// w *= wStep recurrence) — and owns a pool of reusable scratch buffers, so
+// the convolution entry points are allocation-free after warm-up. Large
+// transforms optionally split each stage's independent butterflies across
+// worker goroutines; every partitioning performs the identical floating-point
+// operations per element, so parallel and serial outputs are bit-identical.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// ParallelThreshold is the transform length at or above which Forward and
+// Inverse may split butterfly stages across GOMAXPROCS goroutines. Lengths
+// below it always run serially. Tune it together with GOMAXPROCS; raising it
+// (or setting GOMAXPROCS=1) forces serial transforms.
+var ParallelThreshold = 1 << 16
+
+// minParallelChunk bounds the per-worker chunk of the contiguous early
+// stages; smaller chunks spend more time at barriers than in butterflies.
+const minParallelChunk = 1 << 12
+
+// Plan holds the precomputed tables for transforms of one fixed power-of-two
+// size. Plans are immutable after construction and safe for concurrent use:
+// the transform methods touch only the caller's slice and pooled scratch.
+type Plan struct {
+	n     int
+	swaps []int32      // flattened (i, j) pairs of the bit-reversal permutation, i < j
+	twf   []complex128 // twf[half+k] = exp(-2πi·k/size), size = 2·half (forward)
+	twi   []complex128 // conjugate table for inverse transforms
+	pool  sync.Pool    // scratch []complex128 of length n
+}
+
+// NewPlan builds a plan for transforms of length n (a power of two).
+// Most callers should use PlanFor, which caches plans by size.
+func NewPlan(n int) *Plan {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: plan length %d is not a power of two", n))
+	}
+	p := &Plan{n: n}
+	// The pool stores *[]complex128: putting a bare slice would box its
+	// header into an interface and allocate on every release.
+	p.pool.New = func() any { b := make([]complex128, n); return &b }
+	if n == 1 {
+		return p
+	}
+	shift := uint(64 - log2(n))
+	for i := 0; i < n; i++ {
+		j := int(reverse64(uint64(i)) >> shift)
+		if j > i {
+			p.swaps = append(p.swaps, int32(i), int32(j))
+		}
+	}
+	p.twf = make([]complex128, n)
+	p.twi = make([]complex128, n)
+	for half := 1; half < n; half <<= 1 {
+		size := 2 * half
+		for k := 0; k < half; k++ {
+			ang := 2 * math.Pi * float64(k) / float64(size)
+			s, c := math.Sincos(ang)
+			p.twf[half+k] = complex(c, -s)
+			p.twi[half+k] = complex(c, s)
+		}
+	}
+	return p
+}
+
+// reverse64 mirrors the 64-bit word; split out so NewPlan has no direct
+// dependency on the transform body it replaces.
+func reverse64(v uint64) uint64 {
+	v = v>>32 | v<<32
+	v = v>>16&0x0000FFFF0000FFFF | v&0x0000FFFF0000FFFF<<16
+	v = v>>8&0x00FF00FF00FF00FF | v&0x00FF00FF00FF00FF<<8
+	v = v>>4&0x0F0F0F0F0F0F0F0F | v&0x0F0F0F0F0F0F0F0F<<4
+	v = v>>2&0x3333333333333333 | v&0x3333333333333333<<2
+	v = v>>1&0x5555555555555555 | v&0x5555555555555555<<1
+	return v
+}
+
+// Size returns the transform length the plan was built for.
+func (p *Plan) Size() int { return p.n }
+
+// planCache maps transform sizes to shared plans. A mutex (not sync.Map)
+// serializes construction so two goroutines never build the same multi-MB
+// table twice.
+var (
+	planMu    sync.Mutex
+	planCache = map[int]*Plan{}
+)
+
+// PlanFor returns the shared cached plan for transforms of length n,
+// building it on first use. n must be a power of two.
+func PlanFor(n int) *Plan {
+	if !IsPow2(n) {
+		// Panic before taking the lock so a recovered caller cannot leave
+		// the cache poisoned.
+		panic(fmt.Sprintf("fft: plan length %d is not a power of two", n))
+	}
+	planMu.Lock()
+	defer planMu.Unlock()
+	p := planCache[n]
+	if p == nil {
+		p = NewPlan(n)
+		planCache[n] = p
+	}
+	return p
+}
+
+// scratch borrows a length-n buffer from the plan's pool; release returns it.
+func (p *Plan) scratch() *[]complex128 {
+	return p.pool.Get().(*[]complex128)
+}
+
+func (p *Plan) release(buf *[]complex128) { p.pool.Put(buf) }
+
+// autoWorkers picks the worker count for one transform: GOMAXPROCS for
+// lengths at or above ParallelThreshold, 1 below it.
+func (p *Plan) autoWorkers() int {
+	if p.n >= ParallelThreshold {
+		return runtime.GOMAXPROCS(0)
+	}
+	return 1
+}
+
+// Forward computes the in-place forward DFT of x. len(x) must equal Size.
+// Transforms of length ≥ ParallelThreshold use GOMAXPROCS workers; use
+// ForwardWorkers for explicit control.
+func (p *Plan) Forward(x []complex128) { p.Transform(x, false, p.autoWorkers()) }
+
+// Inverse computes the in-place inverse DFT of x, including the 1/n scaling.
+func (p *Plan) Inverse(x []complex128) { p.Transform(x, true, p.autoWorkers()) }
+
+// ForwardWorkers is Forward with an explicit worker count (≤ 1 means serial).
+func (p *Plan) ForwardWorkers(x []complex128, workers int) { p.Transform(x, false, workers) }
+
+// InverseWorkers is Inverse with an explicit worker count (≤ 1 means serial).
+func (p *Plan) InverseWorkers(x []complex128, workers int) { p.Transform(x, true, workers) }
+
+// Transform runs the planned butterfly network over x, forward or inverse,
+// with the given worker count. The output is bit-identical for every worker
+// count: partitioning never reorders the operations applied to an element.
+func (p *Plan) Transform(x []complex128, inverse bool, workers int) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("fft: plan size %d, input length %d", n, len(x)))
+	}
+	if n == 1 {
+		return
+	}
+	tw := p.twf
+	if inverse {
+		tw = p.twi
+	}
+	if workers > 1 && n/workers >= minParallelChunk {
+		p.transformParallel(x, tw, workers)
+	} else {
+		applySwaps(x, p.swaps)
+		runStages(x, tw, 0, n, n)
+	}
+	if inverse {
+		inv := 1 / float64(n)
+		for i := range x {
+			x[i] = complex(real(x[i])*inv, imag(x[i])*inv)
+		}
+	}
+}
+
+// applySwaps performs the bit-reversal permutation from a flattened pair
+// list. The pairs are disjoint transpositions, so any partition of the list
+// can run concurrently without conflicting writes.
+func applySwaps(x []complex128, swaps []int32) {
+	for i := 0; i < len(swaps); i += 2 {
+		a, b := swaps[i], swaps[i+1]
+		x[a], x[b] = x[b], x[a]
+	}
+}
+
+// runStages runs the butterfly stages of sizes 2..maxSize over x[lo:hi),
+// which must be an aligned multiple of maxSize. Stages 2 and 4 are fused
+// into one radix-4 pass (their twiddles are ±1, ±i — no multiplications),
+// and later stages are fused in pairs that keep the intermediate stage in
+// registers, halving the passes over memory. Every twiddle a fused pass
+// multiplies by is the same table entry the unfused stage would read, so
+// fusing changes no floating-point operation: any stage partitioning
+// produces bit-identical output.
+func runStages(x []complex128, tw []complex128, lo, hi, maxSize int) {
+	if maxSize >= 4 {
+		// tw[3] = exp(∓2πi/4) = ∓i distinguishes forward from inverse.
+		inverse := imag(tw[3]) > 0
+		for i := lo; i < hi; i += 4 {
+			a, b, c, d := x[i], x[i+1], x[i+2], x[i+3]
+			t0, t1 := a+b, a-b
+			t2, t3 := c+d, c-d
+			// Stage-4 twiddle for the odd lane is ∓i; multiply without a
+			// complex multiplication.
+			var r3 complex128
+			if inverse {
+				r3 = complex(-imag(t3), real(t3)) // i·t3
+			} else {
+				r3 = complex(imag(t3), -real(t3)) // −i·t3
+			}
+			x[i], x[i+2] = t0+t2, t0-t2
+			x[i+1], x[i+3] = t1+r3, t1-r3
+		}
+	} else {
+		// maxSize == 2: a single no-twiddle stage.
+		for i := lo; i < hi; i += 2 {
+			a, b := x[i], x[i+1]
+			x[i], x[i+1] = a+b, a-b
+		}
+		return
+	}
+	for size := 8; size <= maxSize; size <<= 2 {
+		if 2*size <= maxSize {
+			fusedStagePair(x, tw, lo, hi, size)
+		} else {
+			half := size >> 1
+			t := tw[half:size]
+			for start := lo; start < hi; start += size {
+				butterflies(x[start:start+size], t, 0, half)
+			}
+		}
+	}
+}
+
+// fusedStagePair applies the stages of size s and 2s in one pass: the four
+// quarters of each size-2s block travel through both butterfly levels while
+// their intermediates stay in registers.
+func fusedStagePair(x []complex128, tw []complex128, lo, hi, s int) {
+	q := s >> 1         // half of the first stage
+	tA := tw[q : 2*q]   // twiddles of the size-s stage
+	tB := tw[2*q : 4*q] // twiddles of the size-2s stage
+	for start := lo; start < hi; start += 4 * q {
+		x0 := x[start : start+q]
+		x1 := x[start+q : start+2*q]
+		x2 := x[start+2*q : start+3*q]
+		x3 := x[start+3*q : start+4*q]
+		for k := 0; k < q; k++ {
+			wa := tA[k]
+			a0, a1 := x0[k], x2[k]
+			b0 := wa * x1[k]
+			b1 := wa * x3[k]
+			u0, u1 := a0+b0, a0-b0
+			u2, u3 := a1+b1, a1-b1
+			c0 := tB[k] * u2
+			c1 := tB[k+q] * u3
+			x0[k] = u0 + c0
+			x2[k] = u0 - c0
+			x1[k] = u1 + c1
+			x3[k] = u1 - c1
+		}
+	}
+}
+
+// butterflies applies butterflies k0..k1 of one size-len(blk) block:
+// blk[k], blk[k+half] ← blk[k] ± w_k·blk[k+half], with w_k = t[k].
+func butterflies(blk []complex128, t []complex128, k0, k1 int) {
+	half := len(t)
+	hi := blk[half:]
+	for k := k0; k < k1; k++ {
+		a := blk[k]
+		b := hi[k] * t[k]
+		blk[k] = a + b
+		hi[k] = a - b
+	}
+}
+
+// transformParallel splits the network across workers: the swap list and the
+// early stages (which stay inside aligned chunks) are partitioned by chunk,
+// then each remaining stage's butterflies are split by flat index, with a
+// barrier between stages. Every element sees the same operations in the same
+// order as the serial path.
+func (p *Plan) transformParallel(x []complex128, tw []complex128, workers int) {
+	n := p.n
+	// Round workers down to a power of two so chunks stay aligned, and keep
+	// chunks at or above the minimum.
+	for !IsPow2(workers) {
+		workers--
+	}
+	for workers > 1 && n/workers < minParallelChunk {
+		workers >>= 1
+	}
+	if workers <= 1 {
+		applySwaps(x, p.swaps)
+		runStages(x, tw, 0, n, n)
+		return
+	}
+	chunk := n / workers
+
+	// Phase 1: bit-reversal. The pair list is split evenly; pairs are
+	// disjoint, so no two workers touch the same element.
+	pairs := len(p.swaps) / 2
+	parallelRange(workers, func(w int) {
+		lo := 2 * (pairs * w / workers)
+		hi := 2 * (pairs * (w + 1) / workers)
+		applySwaps(x, p.swaps[lo:hi])
+	})
+
+	// Phase 2: stages with size ≤ chunk act entirely within one aligned
+	// chunk; each worker runs them on its own chunk with no communication.
+	parallelRange(workers, func(w int) {
+		runStages(x, tw, w*chunk, (w+1)*chunk, chunk)
+	})
+
+	// Phase 3: the remaining log₂(workers) stages, split by flat butterfly
+	// index. per divides half (both are powers of two with per ≤ half/2),
+	// so each worker's range is a contiguous k-interval of one block.
+	per := n / 2 / workers
+	for size := chunk << 1; size <= n; size <<= 1 {
+		half := size >> 1
+		t := tw[half:size]
+		parallelRange(workers, func(w int) {
+			b := w * per
+			blk := b / half
+			k0 := b - blk*half
+			butterflies(x[blk*size:blk*size+size], t, k0, k0+per)
+		})
+	}
+}
+
+// parallelRange runs f(0..workers-1) on separate goroutines and waits.
+func parallelRange(workers int, f func(w int)) {
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			f(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// loadPadded copies a real sequence into the zero-padded scratch buffer.
+func loadPadded(dst []complex128, src []float64) {
+	for i, v := range src {
+		dst[i] = complex(v, 0)
+	}
+	clear(dst[len(src):])
+}
+
+// CrossCorrelate returns r[p] = Σ_i a[i]·b[i+p] for p = 0..len(b)-1. The plan
+// size must be ≥ len(a)+len(b). When a and b alias the same slice it takes
+// the autocorrelation path, saving one forward transform.
+func (p *Plan) CrossCorrelate(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]float64, len(b))
+	p.crossCorrelateInto(a, b, out)
+	return out
+}
+
+func sameSlice(a, b []float64) bool {
+	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
+}
+
+// crossCorrelateInto writes the first len(out) correlation lags into out
+// using pooled scratch only.
+func (p *Plan) crossCorrelateInto(a, b []float64, out []float64) {
+	if len(a)+len(b) > p.n {
+		panic(fmt.Sprintf("fft: plan size %d too small for correlation of %d+%d", p.n, len(a), len(b)))
+	}
+	w := p.autoWorkers()
+	fap := p.scratch()
+	fa := *fap
+	loadPadded(fa, a)
+	if sameSlice(a, b) {
+		// Self-correlation: one forward transform and |X|² in place.
+		p.Transform(fa, false, w)
+		for i := range fa {
+			re, im := real(fa[i]), imag(fa[i])
+			fa[i] = complex(re*re+im*im, 0)
+		}
+	} else {
+		fbp := p.scratch()
+		fb := *fbp
+		loadPadded(fb, b)
+		p.Transform(fa, false, w)
+		p.Transform(fb, false, w)
+		for i := range fa {
+			ar, ai := real(fa[i]), imag(fa[i])
+			fa[i] = complex(ar, -ai) * fb[i]
+		}
+		p.release(fbp)
+	}
+	p.Transform(fa, true, w)
+	for i := range out {
+		out[i] = real(fa[i])
+	}
+	p.release(fap)
+}
+
+// AutocorrelateCounts returns r[p] = Σ_i x[i]·x[i+p] rounded to integers,
+// costing one forward and one inverse transform (the seed path ran two
+// forwards on the identical input).
+func (p *Plan) AutocorrelateCounts(x []float64) []int64 {
+	if len(x) == 0 {
+		return nil
+	}
+	return p.AutocorrelateCountsInto(x, make([]int64, len(x)), 0)
+}
+
+// AutocorrelateCountsInto is AutocorrelateCounts writing into out (length
+// len(x)); allocation-free after the scratch pool is warm. workers ≤ 0
+// selects the automatic policy.
+func (p *Plan) AutocorrelateCountsInto(x []float64, out []int64, workers int) []int64 {
+	if 2*len(x) > p.n {
+		panic(fmt.Sprintf("fft: plan size %d too small for autocorrelation of %d", p.n, len(x)))
+	}
+	w := workers
+	if w <= 0 {
+		w = p.autoWorkers()
+	}
+	fap := p.scratch()
+	fa := *fap
+	loadPadded(fa, x)
+	p.Transform(fa, false, w)
+	for i := range fa {
+		re, im := real(fa[i]), imag(fa[i])
+		fa[i] = complex(re*re+im*im, 0)
+	}
+	p.Transform(fa, true, w)
+	for i := range out[:len(x)] {
+		out[i] = int64(math.Round(real(fa[i])))
+	}
+	p.release(fap)
+	return out[:len(x)]
+}
+
+// AutocorrelateCountsPair computes the autocorrelation counts of two
+// equal-length real vectors with one forward and one inverse transform,
+// packing them as the real and imaginary parts of one complex vector.
+func (p *Plan) AutocorrelateCountsPair(x1, x2 []float64) ([]int64, []int64) {
+	if len(x1) != len(x2) {
+		panic(fmt.Sprintf("fft: pair length mismatch %d vs %d", len(x1), len(x2)))
+	}
+	if len(x1) == 0 {
+		return nil, nil
+	}
+	out1 := make([]int64, len(x1))
+	out2 := make([]int64, len(x2))
+	p.AutocorrelateCountsPairInto(x1, x2, out1, out2, 0)
+	return out1, out2
+}
+
+// AutocorrelateCountsPairInto is AutocorrelateCountsPair writing into the
+// caller's count slices (each of length len(x1)); allocation-free after the
+// scratch pool is warm. workers ≤ 0 selects the automatic policy.
+func (p *Plan) AutocorrelateCountsPairInto(x1, x2 []float64, out1, out2 []int64, workers int) {
+	n := len(x1)
+	if len(x2) != n {
+		panic(fmt.Sprintf("fft: pair length mismatch %d vs %d", n, len(x2)))
+	}
+	if n == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = p.autoWorkers()
+	}
+	specp := p.pairSpectrum(x1, x2, workers)
+	spec := *specp
+	for i := 0; i < n; i++ {
+		out1[i] = int64(math.Round(real(spec[i])))
+		out2[i] = int64(math.Round(imag(spec[i])))
+	}
+	p.release(specp)
+}
+
+// pairSpectrum runs the packed pair autocorrelation up to (but not
+// including) rounding: element i of the result holds the two raw lag-i
+// correlation values as (r1, r2). The returned buffer belongs to the plan's
+// pool; the caller must release it.
+func (p *Plan) pairSpectrum(x1, x2 []float64, workers int) *[]complex128 {
+	n := len(x1)
+	m := p.n
+	if 2*n > m {
+		panic(fmt.Sprintf("fft: plan size %d too small for pair autocorrelation of %d", m, n))
+	}
+	zp := p.scratch()
+	z := *zp
+	for i := 0; i < n; i++ {
+		z[i] = complex(x1[i], x2[i])
+	}
+	clear(z[n:])
+	p.Transform(z, false, workers)
+	// Z(k) = X1(k) + i·X2(k) for the real inputs x1, x2:
+	// X1(k) = (Z(k) + conj(Z(m−k)))/2, X2(k) = (Z(k) − conj(Z(m−k)))/(2i),
+	// and the packed spectrum of the pair of autocorrelations is
+	// S(k) = |X1(k)|² + i·|X2(k)|². X1(m−k) = conj(X1(k)) and
+	// X2(m−k) = conj(X2(k)) give S(m−k) = S(k), so the separation runs in
+	// place over (k, m−k) pairs — no second buffer, half the arithmetic.
+	for _, k := range [2]int{0, m / 2} {
+		zk := z[k]
+		re, im := real(zk), imag(zk)
+		z[k] = complex(re*re, im*im)
+	}
+	for k := 1; 2*k < m; k++ {
+		zk, zmk := z[k], z[m-k]
+		cr := complex(real(zmk), -imag(zmk))
+		a := (zk + cr) / 2
+		b := (zk - cr) / complex(0, 2)
+		p1 := real(a)*real(a) + imag(a)*imag(a)
+		p2 := real(b)*real(b) + imag(b)*imag(b)
+		s := complex(p1, p2)
+		z[k], z[m-k] = s, s
+	}
+	p.Transform(z, true, workers)
+	return zp
+}

@@ -1,0 +1,351 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestPlanForwardMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256, 1024} {
+		x := randComplex(rng, n)
+		want := dftNaive(x, false)
+		got := append([]complex128(nil), x...)
+		NewPlan(n).Forward(got)
+		if d := maxDiff(got, want); d > eps*float64(n) {
+			t.Fatalf("n=%d: planned Forward deviates from naive DFT by %g", n, d)
+		}
+	}
+}
+
+func TestPlanInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{2, 8, 512, 4096} {
+		p := PlanFor(n)
+		x := randComplex(rng, n)
+		y := append([]complex128(nil), x...)
+		p.Forward(y)
+		p.Inverse(y)
+		if d := maxDiff(x, y); d > eps {
+			t.Fatalf("n=%d: planned Forward∘Inverse deviates by %g", n, d)
+		}
+	}
+}
+
+func TestPlanRejectsWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("plan size 8 on length-4 input: want panic")
+		}
+	}()
+	NewPlan(8).Forward(make([]complex128, 4))
+}
+
+func TestPlanForRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PlanFor(12): want panic")
+		}
+	}()
+	PlanFor(12)
+}
+
+func TestPlanForCachesBySize(t *testing.T) {
+	if PlanFor(256) != PlanFor(256) {
+		t.Fatal("PlanFor(256) returned distinct plans for the same size")
+	}
+	if PlanFor(256) == PlanFor(512) {
+		t.Fatal("PlanFor returned the same plan for different sizes")
+	}
+}
+
+// autocorrExactInt counts lag matches of a 0/1 vector in integer arithmetic:
+// an error-free reference for the correlation paths.
+func autocorrExactInt(x []float64) []int64 {
+	n := len(x)
+	out := make([]int64, n)
+	for lag := 0; lag < n; lag++ {
+		var c int64
+		for i := 0; i+lag < n; i++ {
+			if x[i] == 1 && x[i+lag] == 1 {
+				c++
+			}
+		}
+		out[lag] = c
+	}
+	return out
+}
+
+// rawCountsRecurrence runs the seed's autocorrelation pipeline — forward,
+// |X|², inverse — entirely on the w*=wStep recurrence network and returns the
+// raw (unrounded) lag values.
+func rawCountsRecurrence(x []float64) []float64 {
+	m := NextPow2(2 * len(x))
+	fa := make([]complex128, m)
+	loadPadded(fa, x)
+	transformRecurrence(fa, false)
+	for i := range fa {
+		re, im := real(fa[i]), imag(fa[i])
+		fa[i] = complex(re*re+im*im, 0)
+	}
+	transformRecurrence(fa, true)
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = real(fa[i])
+	}
+	return out
+}
+
+func worstCountError(raw []float64, exact []int64) float64 {
+	worst := 0.0
+	for i, v := range raw {
+		if d := math.Abs(v - float64(exact[i])); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestPlanAccuracyNoWorseThanRecurrence is the accuracy regression test of
+// the twiddle tables. Two referees: a naive O(n²) DFT bounds the planned
+// transform's per-element error, and — because a float64 DFT reference
+// carries round-off of its own, too noisy to rank two FFTs that differ by
+// parts in 10¹³ — exact integer autocorrelation counts of a 0/1 indicator
+// decide the plan-vs-recurrence comparison. Against those the table-driven
+// plan must never lose to the w*=wStep recurrence, and at the largest size
+// (where the recurrence has drifted through thousands of multiplies per
+// stage) it must win outright. Fixed seed, so the comparisons cannot flake.
+func TestPlanAccuracyNoWorseThanRecurrence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("O(n²) references at n=8192")
+	}
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{64, 512, 2048, 8192} {
+		x := randComplex(rng, n)
+		want := dftNaive(x, false)
+		planned := append([]complex128(nil), x...)
+		PlanFor(n).Forward(planned)
+		if d := maxDiff(planned, want); d > eps*float64(n) {
+			t.Errorf("n=%d: planned error %g vs naive DFT above bound", n, d)
+		}
+
+		ind := make([]float64, n)
+		for i := range ind {
+			if rng.Intn(3) == 0 {
+				ind[i] = 1
+			}
+		}
+		exact := autocorrExactInt(ind)
+		planWorst := worstCountError(PlanFor(NextPow2(2*n)).CrossCorrelate(ind, ind), exact)
+		recWorst := worstCountError(rawCountsRecurrence(ind), exact)
+		if planWorst > recWorst {
+			t.Errorf("n=%d: planned count error %g exceeds recurrence count error %g",
+				n, planWorst, recWorst)
+		}
+		if n == 8192 && planWorst >= recWorst {
+			t.Errorf("n=%d: planned count error %g not strictly below recurrence %g",
+				n, planWorst, recWorst)
+		}
+	}
+}
+
+// TestPlanMatchesRecurrenceWithinBound pins the two implementations together
+// on randomized data: they may differ only by accumulated round-off.
+func TestPlanMatchesRecurrenceWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range []int{2, 16, 128, 4096, 32768} {
+		x := randComplex(rng, n)
+		a := append([]complex128(nil), x...)
+		b := append([]complex128(nil), x...)
+		PlanFor(n).Forward(a)
+		transformRecurrence(b, false)
+		var scale float64
+		for _, v := range x {
+			scale += cmplx.Abs(v)
+		}
+		if d := maxDiff(a, b); d > 1e-9*scale {
+			t.Fatalf("n=%d: planned and recurrence transforms diverge by %g", n, d)
+		}
+	}
+}
+
+// TestPlanParallelBitIdentical asserts the parallel butterfly network is not
+// merely close to the serial one but produces the exact same bits for every
+// worker count, forward and inverse.
+func TestPlanParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, n := range []int{1 << 13, 1 << 14, 1 << 16} {
+		p := PlanFor(n)
+		x := randComplex(rng, n)
+		for _, inverse := range []bool{false, true} {
+			serial := append([]complex128(nil), x...)
+			p.Transform(serial, inverse, 1)
+			for _, workers := range []int{2, 3, 4, 7, 8, 16} {
+				par := append([]complex128(nil), x...)
+				p.Transform(par, inverse, workers)
+				for i := range par {
+					if par[i] != serial[i] {
+						t.Fatalf("n=%d workers=%d inverse=%v: element %d differs: %v vs %v",
+							n, workers, inverse, i, par[i], serial[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPlanCrossCorrelateMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for _, pair := range [][2]int{{5, 5}, {8, 20}, {33, 7}, {100, 100}} {
+		a := make([]float64, pair[0])
+		b := make([]float64, pair[1])
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		got := PlanFor(NextPow2(len(a)+len(b))).CrossCorrelate(a, b)
+		want := crossCorrelateNaive(a, b)
+		for p := range want {
+			if math.Abs(got[p]-want[p]) > 1e-6 {
+				t.Fatalf("CrossCorrelate[%d] = %g, want %g", p, got[p], want[p])
+			}
+		}
+	}
+}
+
+// TestPlanSelfCorrelationPath covers the a == b fast path (one forward
+// transform instead of two) against the generic two-input path.
+func TestPlanSelfCorrelationPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 3, 64, 1000} {
+		x := make([]float64, n)
+		for i := range x {
+			if rng.Intn(3) == 0 {
+				x[i] = 1
+			}
+		}
+		p := PlanFor(NextPow2(2 * n))
+		self := p.CrossCorrelate(x, x)
+		distinct := p.CrossCorrelate(x, append([]float64(nil), x...))
+		naive := crossCorrelateNaive(x, x)
+		for i := range self {
+			if math.Abs(self[i]-naive[i]) > 1e-6 {
+				t.Fatalf("n=%d lag %d: self path %g vs naive %g", n, i, self[i], naive[i])
+			}
+			if math.Abs(self[i]-distinct[i]) > 1e-6 {
+				t.Fatalf("n=%d lag %d: self path %g vs two-input path %g", n, i, self[i], distinct[i])
+			}
+		}
+	}
+}
+
+func TestPlanAutocorrelateCountsMatchesPackage(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for _, n := range []int{1, 2, 7, 100, 4096} {
+		x := make([]float64, n)
+		for i := range x {
+			if rng.Intn(4) == 0 {
+				x[i] = 1
+			}
+		}
+		p := PlanFor(NextPow2(2 * n))
+		got := p.AutocorrelateCounts(x)
+		want := AutocorrelateCounts(x)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d lag %d: plan count %d vs package count %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPlanPairCountsBitIdenticalAcrossWorkers checks the packed pair path at
+// every parallelism level against the serial per-symbol counts.
+func TestPlanPairCountsBitIdenticalAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	n := 1 << 13
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			x1[i] = 1
+		}
+		if rng.Intn(5) == 0 {
+			x2[i] = 1
+		}
+	}
+	want1 := AutocorrelateCounts(x1)
+	want2 := AutocorrelateCounts(x2)
+	p := PlanFor(NextPow2(2 * n))
+	out1 := make([]int64, n)
+	out2 := make([]int64, n)
+	for _, workers := range []int{1, 2, 4, 8} {
+		p.AutocorrelateCountsPairInto(x1, x2, out1, out2, workers)
+		for i := 0; i < n; i++ {
+			if out1[i] != want1[i] || out2[i] != want2[i] {
+				t.Fatalf("workers=%d lag %d: pair (%d,%d) vs singles (%d,%d)",
+					workers, i, out1[i], out2[i], want1[i], want2[i])
+			}
+		}
+	}
+}
+
+// TestPlanZeroAllocAfterWarmup verifies the headline property: once the
+// scratch pool is warm, the batched count paths allocate nothing.
+func TestPlanZeroAllocAfterWarmup(t *testing.T) {
+	n := 1 << 10
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	for i := 0; i < n; i += 3 {
+		x1[i] = 1
+		x2[(i+1)%n] = 1
+	}
+	p := PlanFor(NextPow2(2 * n))
+	out1 := make([]int64, n)
+	out2 := make([]int64, n)
+	p.AutocorrelateCountsPairInto(x1, x2, out1, out2, 1) // warm the pool
+	p.AutocorrelateCountsInto(x1, out1, 1)
+	allocs := testing.AllocsPerRun(20, func() {
+		p.AutocorrelateCountsPairInto(x1, x2, out1, out2, 1)
+		p.AutocorrelateCountsInto(x1, out1, 1)
+	})
+	// A concurrent GC sweep can occasionally empty the sync.Pool mid-run, so
+	// tolerate a stray refill rather than flake.
+	if allocs > 1 {
+		t.Fatalf("count paths allocate %.1f times per run after warm-up", allocs)
+	}
+}
+
+func TestValidateCountPrecisionPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	n := 1 << 14
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			x1[i] = 1
+		}
+		if rng.Intn(3) == 0 {
+			x2[i] = 1
+		}
+	}
+	if worst := ValidateCountPrecisionPair(x1, x2); worst > 1e-3 {
+		t.Fatalf("pair-packed count error %g too close to 0.5 at n=%d", worst, n)
+	}
+	if got := ValidateCountPrecisionPair(nil, nil); got != 0 {
+		t.Fatalf("empty pair precision = %g, want 0", got)
+	}
+}
+
+func TestValidateCountPrecisionPairMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch: want panic")
+		}
+	}()
+	ValidateCountPrecisionPair(make([]float64, 2), make([]float64, 3))
+}

@@ -151,10 +151,19 @@ func (s *Series) MatchCount(p int) int {
 // Indicator returns the 0/1 indicator vector of symbol k as float64, for FFT
 // correlation.
 func (s *Series) Indicator(k int) []float64 {
-	out := make([]float64, len(s.data))
+	return s.IndicatorInto(k, make([]float64, len(s.data)))
+}
+
+// IndicatorInto writes the indicator vector of symbol k into out, which must
+// have length ≥ Len, and returns out[:Len]. It lets batch FFT drivers reuse
+// one buffer per worker instead of allocating σ vectors per sweep.
+func (s *Series) IndicatorInto(k int, out []float64) []float64 {
+	out = out[:len(s.data)]
 	for i, v := range s.data {
 		if int(v) == k {
 			out[i] = 1
+		} else {
+			out[i] = 0
 		}
 	}
 	return out
