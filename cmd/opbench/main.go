@@ -121,7 +121,9 @@ func fig3(sc scale, seed int64) error {
 	if err != nil {
 		return err
 	}
-	expr.RenderCorrectness(os.Stdout, "Fig. 3(a) — miner correctness, inerrant data (confidence at multiples of P)", points)
+	if err := expr.RenderCorrectness(os.Stdout, "Fig. 3(a) — miner correctness, inerrant data (confidence at multiples of P)", points); err != nil {
+		return err
+	}
 
 	cfg.Noise = gen.Replacement
 	cfg.Ratio = 0.2
@@ -129,7 +131,9 @@ func fig3(sc scale, seed int64) error {
 	if err != nil {
 		return err
 	}
-	expr.RenderCorrectness(os.Stdout, "\nFig. 3(b) — miner correctness, 20% replacement noise", points)
+	if err := expr.RenderCorrectness(os.Stdout, "\nFig. 3(b) — miner correctness, 20% replacement noise", points); err != nil {
+		return err
+	}
 	fmt.Println()
 	return nil
 }
@@ -146,7 +150,9 @@ func fig4(sc scale, seed int64) error {
 	if err != nil {
 		return err
 	}
-	expr.RenderCorrectness(os.Stdout, "Fig. 4(a) — periodic trends correctness, inerrant data (normalized rank)", points)
+	if err := expr.RenderCorrectness(os.Stdout, "Fig. 4(a) — periodic trends correctness, inerrant data (normalized rank)", points); err != nil {
+		return err
+	}
 
 	cfg.Noise = gen.Replacement
 	cfg.Ratio = 0.5
@@ -154,7 +160,9 @@ func fig4(sc scale, seed int64) error {
 	if err != nil {
 		return err
 	}
-	expr.RenderCorrectness(os.Stdout, "\nFig. 4(b) — periodic trends correctness, 50% replacement noise (note the large-period bias)", points)
+	if err := expr.RenderCorrectness(os.Stdout, "\nFig. 4(b) — periodic trends correctness, 50% replacement noise (note the large-period bias)", points); err != nil {
+		return err
+	}
 
 	// Make the bias concrete: under noise the absolute distance shrinks
 	// with the overlap n−p, so the top of the trends candidate list fills
@@ -180,7 +188,9 @@ func fig5(sc scale, seed int64) error {
 	if err != nil {
 		return err
 	}
-	expr.RenderTiming(os.Stdout, "Fig. 5 — detection-phase time vs series length (Wal-Mart-style data)", points)
+	if err := expr.RenderTiming(os.Stdout, "Fig. 5 — detection-phase time vs series length (Wal-Mart-style data)", points); err != nil {
+		return err
+	}
 	fmt.Println()
 	return nil
 }
@@ -202,7 +212,9 @@ func fig6(sc scale, seed int64) error {
 		if err != nil {
 			return err
 		}
-		expr.RenderNoise(os.Stdout, panel.title, points)
+		if err := expr.RenderNoise(os.Stdout, panel.title, points); err != nil {
+			return err
+		}
 		fmt.Println()
 	}
 	return nil
@@ -216,14 +228,18 @@ func table1(sc scale, seed int64) error {
 	if err != nil {
 		return err
 	}
-	expr.RenderPeriodTable(os.Stdout, "Table 1 — period values, Wal-Mart substitute (hourly transactions)", rows)
+	if err := expr.RenderPeriodTable(os.Stdout, "Table 1 — period values, Wal-Mart substitute (hourly transactions)", rows); err != nil {
+		return err
+	}
 
 	cm := cimeg.Series(cimeg.Config{Days: sc.days, Seed: seed, Seasonal: true})
 	rows, err = expr.PeriodTable(cm, tableThresholds, 0, 4)
 	if err != nil {
 		return err
 	}
-	expr.RenderPeriodTable(os.Stdout, "\nTable 1 — period values, CIMEG substitute (daily power consumption)", rows)
+	if err := expr.RenderPeriodTable(os.Stdout, "\nTable 1 — period values, CIMEG substitute (daily power consumption)", rows); err != nil {
+		return err
+	}
 	fmt.Println()
 	return nil
 }
@@ -234,14 +250,18 @@ func table2(sc scale, seed int64) error {
 	if err != nil {
 		return err
 	}
-	expr.RenderSinglePatternTable(os.Stdout, "Table 2 — single-symbol patterns, Wal-Mart substitute, period 24", rows)
+	if err := expr.RenderSinglePatternTable(os.Stdout, "Table 2 — single-symbol patterns, Wal-Mart substitute, period 24", rows); err != nil {
+		return err
+	}
 
 	cm := cimeg.Series(cimeg.Config{Days: sc.days, Seed: seed, Seasonal: true})
 	rows, err = expr.SinglePatternTable(cm, 7, tableThresholds[:6])
 	if err != nil {
 		return err
 	}
-	expr.RenderSinglePatternTable(os.Stdout, "\nTable 2 — single-symbol patterns, CIMEG substitute, period 7", rows)
+	if err := expr.RenderSinglePatternTable(os.Stdout, "\nTable 2 — single-symbol patterns, CIMEG substitute, period 7", rows); err != nil {
+		return err
+	}
 	fmt.Println()
 	return nil
 }
@@ -252,21 +272,27 @@ func ablation(sc scale, seed int64) error {
 	if err != nil {
 		return err
 	}
-	expr.RenderEngineAblation(os.Stdout, "Ablation — full mining time per engine (ψ=0.7, pattern stage ≤ p=64)", rows)
+	if err := expr.RenderEngineAblation(os.Stdout, "Ablation — full mining time per engine (ψ=0.7, pattern stage ≤ p=64)", rows); err != nil {
+		return err
+	}
 
 	skRows, err := expr.SketchAblation(1<<15, []int{2, 8, 32, 128}, seed)
 	if err != nil {
 		return err
 	}
 	fmt.Println()
-	expr.RenderSketchAblation(os.Stdout, "Ablation — trends sketch accuracy vs repetitions (n=32768)", skRows)
+	if err := expr.RenderSketchAblation(os.Stdout, "Ablation — trends sketch accuracy vs repetitions (n=32768)", skRows); err != nil {
+		return err
+	}
 
 	prRows, err := expr.PruneAblation(1<<14, []int{80, 40}, []int{1, 4, 16}, seed)
 	if err != nil {
 		return err
 	}
 	fmt.Println()
-	expr.RenderPruneAblation(os.Stdout, "Ablation — FFT-engine prune: (period, symbol) pairs needing phase resolution", prRows)
+	if err := expr.RenderPruneAblation(os.Stdout, "Ablation — FFT-engine prune: (period, symbol) pairs needing phase resolution", prRows); err != nil {
+		return err
+	}
 	fmt.Println()
 	return nil
 }
@@ -278,9 +304,11 @@ func quality(sc scale, seed int64) error {
 	if err != nil {
 		return err
 	}
-	expr.RenderQuality(os.Stdout,
+	if err := expr.RenderQuality(os.Stdout,
 		"Quality (beyond the paper) — rank of the true period per detector under replacement noise",
-		rows, cfg.TopK)
+		rows, cfg.TopK); err != nil {
+		return err
+	}
 	fmt.Println()
 	return nil
 }
@@ -291,7 +319,9 @@ func table3(sc scale, seed int64) error {
 	if err != nil {
 		return err
 	}
-	expr.RenderPatternTable(os.Stdout, "Table 3 — periodic patterns, Wal-Mart substitute, period 24, ψ=35%", rows)
+	if err := expr.RenderPatternTable(os.Stdout, "Table 3 — periodic patterns, Wal-Mart substitute, period 24, ψ=35%", rows); err != nil {
+		return err
+	}
 	fmt.Println()
 	return nil
 }

@@ -41,15 +41,15 @@ func main() {
 	flag.Parse()
 
 	w := bufio.NewWriter(os.Stdout)
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		var err error
+		f, err = os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		w = bufio.NewWriter(f)
 	}
-	defer w.Flush()
 
 	switch *kind {
 	case "synthetic":
@@ -88,18 +88,29 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown kind %q (want synthetic, walmart, cimeg)", *kind))
 	}
+
+	// The buffered writes above latch their first error inside w; Flush
+	// reports it, and Close catches what the OS only surfaces then.
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func writeSymbols(w *bufio.Writer, s *series.Series) {
 	for i := 0; i < s.Len(); i++ {
-		w.WriteString(s.Alphabet().Symbol(s.At(i)))
+		w.WriteString(s.Alphabet().Symbol(s.At(i))) //opvet:ignore errcheck-lite bufio latches the error; main checks Flush
 	}
-	w.WriteByte('\n')
+	w.WriteByte('\n') //opvet:ignore errcheck-lite bufio latches the error; main checks Flush
 }
 
 func writeValues(w *bufio.Writer, values []float64) {
 	for _, v := range values {
-		fmt.Fprintf(w, "%g\n", v)
+		fmt.Fprintf(w, "%g\n", v) //opvet:ignore errcheck-lite bufio latches the error; main checks Flush
 	}
 }
 

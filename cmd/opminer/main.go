@@ -144,7 +144,7 @@ func readSeries(path, format string, cfg prepConfig) (*periodica.Series, error) 
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // read-only; nothing to lose on close
 		r = f
 	}
 	switch format {

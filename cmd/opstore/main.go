@@ -81,7 +81,7 @@ func runAppend(dir string, args []string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // read-only; nothing to lose on close
 		r = f
 	}
 	br := bufio.NewReader(r)
@@ -146,7 +146,7 @@ func runQuery(dir string, args []string) error {
 		return err
 	}
 	sort.Slice(pers, func(i, j int) bool {
-		if pers[i].Confidence != pers[j].Confidence {
+		if pers[i].Confidence != pers[j].Confidence { //opvet:ignore floatcmp exact tie-break in sort comparator
 			return pers[i].Confidence > pers[j].Confidence
 		}
 		return pers[i].Period < pers[j].Period

@@ -1,0 +1,128 @@
+// Command opvet runs periodica's project-specific static-analysis
+// rules (internal/analysis) over every package of the module and
+// prints "file:line:col: rule: message" diagnostics. It exits 0 when
+// the tree is clean, 1 when any diagnostic is reported, and 2 on usage
+// or load errors — the same contract as go vet, so CI can gate on it.
+//
+// Usage:
+//
+//	opvet [-rules rule1,rule2] [-list] [packages]
+//
+// The package arguments are accepted for command-line symmetry with go
+// vet but the analyzer always loads the whole module (the mutglobal
+// call graph needs every package anyway); arguments other than ./...
+// restrict which packages' findings are *printed*.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"periodica/internal/analysis"
+)
+
+func main() {
+	var (
+		rulesFlag = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		list      = flag.Bool("list", false, "list the available rules and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range analysis.Rules() {
+			fmt.Printf("%-14s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+
+	rules := analysis.Rules()
+	if *rulesFlag != "" {
+		rules = rules[:0:0]
+		for _, name := range strings.Split(*rulesFlag, ",") {
+			name = strings.TrimSpace(name)
+			r := analysis.RuleByName(name)
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "opvet: unknown rule %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			rules = append(rules, r)
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "opvet: %v\n", err)
+		os.Exit(2)
+	}
+	m, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "opvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	keep := packageFilter(m, flag.Args())
+	bad := false
+	for _, d := range analysis.Run(m, rules) {
+		if !keep(d.Pos.Filename) {
+			continue
+		}
+		// Print module-relative paths so output is stable across
+		// checkouts.
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+		bad = true
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// packageFilter maps the go-vet-style package arguments to a filename
+// predicate. No arguments, or any ./... argument, keeps everything;
+// otherwise a file is kept when it lives under one of the named
+// directories (./internal/fft style).
+func packageFilter(m *analysis.Module, args []string) func(string) bool {
+	if len(args) == 0 {
+		return func(string) bool { return true }
+	}
+	var dirs []string
+	for _, a := range args {
+		if a == "./..." || a == "all" {
+			return func(string) bool { return true }
+		}
+		a = strings.TrimSuffix(a, "/...")
+		a = strings.TrimPrefix(a, "./")
+		dirs = append(dirs, filepath.Join(m.Dir, filepath.FromSlash(a)))
+	}
+	return func(file string) bool {
+		for _, d := range dirs {
+			if file == d || strings.HasPrefix(file, d+string(filepath.Separator)) {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -19,7 +19,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer func() { _ = os.RemoveAll(dir) }() // best-effort temp cleanup
 
 	db, err := store.Open(dir, store.Options{Sigma: 4, MaxPeriod: 14, SegmentSize: 60})
 	if err != nil {

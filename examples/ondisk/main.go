@@ -29,7 +29,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer func() { _ = os.RemoveAll(dir) }() // best-effort temp cleanup
 	path := filepath.Join(dir, "transactions.pser")
 	if err := pub.WriteFile(path); err != nil {
 		log.Fatal(err)

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrcheckLite flags statements that silently discard an error return:
+// a call used as a bare statement, deferred, or launched with go, whose
+// result type is or contains error. A small allowlist keeps the rule
+// usable: terminal prints to stdout/stderr (fmt.Print*, and fmt.Fprint*
+// whose first argument is os.Stdout or os.Stderr) and writers whose
+// error is documented to always be nil (strings.Builder, bytes.Buffer).
+// Assigning the error to _ is an explicit decision and is not flagged.
+type ErrcheckLite struct{}
+
+func (ErrcheckLite) Name() string { return "errcheck-lite" }
+func (ErrcheckLite) Doc() string {
+	return "flag call statements that discard an error return in non-test code"
+}
+
+func (ErrcheckLite) Run(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			if strings.HasSuffix(m.Fset.Position(file.Pos()).Filename, "_test.go") {
+				continue
+			}
+			info := pkg.Info
+			check := func(call *ast.CallExpr, how string) {
+				tv, ok := info.Types[call]
+				if !ok || tv.Type == nil || !containsError(tv.Type) {
+					return
+				}
+				if errAllowlisted(info, call) {
+					return
+				}
+				report(call.Pos(), "%s of %s discards its error result", how, callName(info, call))
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := st.X.(*ast.CallExpr); ok {
+						check(call, "call")
+					}
+				case *ast.DeferStmt:
+					check(st.Call, "deferred call")
+				case *ast.GoStmt:
+					check(st.Call, "go call")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// errAllowlisted reports whether the discarded error is acceptable.
+func errAllowlisted(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObject(info, call)
+	if obj == nil {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	pkg := fn.Pkg()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		// Methods on writers that never fail.
+		rt := sig.Recv().Type()
+		if namedFrom(rt, "strings", "Builder") || namedFrom(rt, "bytes", "Buffer") {
+			return true
+		}
+		return false
+	}
+	if pkg == nil || pkg.Path() != "fmt" {
+		return false
+	}
+	name := fn.Name()
+	if name == "Print" || name == "Printf" || name == "Println" {
+		return true
+	}
+	if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+		if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if po, ok := info.Uses[id].(*types.PkgName); ok && po.Imported().Path() == "os" {
+					return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+				}
+			}
+		}
+	}
+	return false
+}
+
+// callName renders a readable callee name for diagnostics.
+func callName(info *types.Info, call *ast.CallExpr) string {
+	if obj := calleeObject(info, call); obj != nil {
+		if fn, ok := obj.(*types.Func); ok {
+			if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil {
+				return "(" + types.TypeString(sig.Recv().Type(), types.RelativeTo(fn.Pkg())) + ")." + fn.Name()
+			}
+			if fn.Pkg() != nil {
+				return fn.Pkg().Name() + "." + fn.Name()
+			}
+			return fn.Name()
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,296 @@
+// Module loading: parse every package of the module with go/parser,
+// topologically sort the intra-module import graph, and type-check
+// each package with go/types. Imports outside the module resolve
+// through the standard importers — compiled export data first (fast),
+// falling back to type-checking the dependency from source — so the
+// analyzer needs nothing beyond the standard library and a Go
+// installation.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadModule parses and type-checks every package under the module
+// rooted at dir (the directory containing go.mod). Test files
+// (*_test.go) and testdata directories are skipped: the rules target
+// production code, and several of them exempt tests by definition.
+func LoadModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	m := &Module{Path: modPath, Dir: abs, Fset: fset}
+
+	// Parse every directory that holds non-test Go files.
+	type parsed struct {
+		pkg     *Package
+		imports []string // intra-module imports only
+	}
+	byPath := map[string]*parsed{}
+	err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != abs && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		files, perr := parseDir(fset, path)
+		if perr != nil {
+			return perr
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, rerr := filepath.Rel(abs, path)
+		if rerr != nil {
+			return rerr
+		}
+		imp := modPath
+		if rel != "." {
+			imp = modPath + "/" + filepath.ToSlash(rel)
+		}
+		byPath[imp] = &parsed{
+			pkg:     &Package{Path: imp, Dir: path, Files: files},
+			imports: moduleImports(files, modPath),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var paths []string
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	order, err := topoSort(paths, func(p string) ([]string, bool) {
+		n, ok := byPath[p]
+		if !ok {
+			return nil, false
+		}
+		return n.imports, true
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	imp := newChainImporter(fset)
+	for _, path := range order {
+		p := byPath[path]
+		tpkg, info, cerr := checkPackage(fset, path, p.pkg.Files, imp)
+		if cerr != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", path, cerr)
+		}
+		p.pkg.Types, p.pkg.Info = tpkg, info
+		imp.local[path] = tpkg
+		m.Packages = append(m.Packages, p.pkg)
+	}
+	sort.Slice(m.Packages, func(i, j int) bool { return m.Packages[i].Path < m.Packages[j].Path })
+	return m, nil
+}
+
+// LoadPackageDir parses and type-checks the single package in dir as a
+// stand-alone module named path. It backs the golden-file tests, which
+// check fixture packages that import nothing but the standard library.
+func LoadPackageDir(dir, path string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", abs)
+	}
+	imp := newChainImporter(fset)
+	tpkg, info, err := checkPackage(fset, path, files, imp)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Module{
+		Path: path,
+		Dir:  abs,
+		Fset: fset,
+		Packages: []*Package{
+			{Path: path, Dir: abs, Files: files, Types: tpkg, Info: info},
+		},
+	}, nil
+}
+
+// parseDir parses the non-test Go files of one directory, sorted by
+// name for deterministic diagnostics.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// moduleImports collects the intra-module import paths of the files.
+func moduleImports(files []*ast.File, modPath string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if (p == modPath || strings.HasPrefix(p, modPath+"/")) && !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topoSort orders the package paths so every package follows its
+// intra-module imports; an import cycle is an error. deps returns a
+// node's dependency list and whether the node exists.
+func topoSort(paths []string, deps func(string) ([]string, bool)) ([]string, error) {
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", p)
+		case 2:
+			return nil
+		}
+		state[p] = 1
+		ds, ok := deps(p)
+		if !ok {
+			return fmt.Errorf("package %s is imported but has no Go files in the module", p)
+		}
+		for _, d := range ds {
+			if err := visit(d); err != nil {
+				return fmt.Errorf("%s imports %s: %w", p, d, err)
+			}
+		}
+		state[p] = 2
+		order = append(order, p)
+		return nil
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// checkPackage type-checks one package and returns its types.Package
+// and filled-in Info.
+func checkPackage(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tpkg, info, nil
+}
+
+// chainImporter resolves module-local packages from the already-checked
+// set and everything else through the gc (export data) importer with a
+// source-importer fallback. Results are cached.
+type chainImporter struct {
+	local  map[string]*types.Package
+	std    map[string]*types.Package
+	gc     types.Importer
+	source types.Importer
+}
+
+func newChainImporter(fset *token.FileSet) *chainImporter {
+	return &chainImporter{
+		local:  map[string]*types.Package{},
+		std:    map[string]*types.Package{},
+		gc:     importer.Default(),
+		source: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p := c.local[path]; p != nil {
+		return p, nil
+	}
+	if p := c.std[path]; p != nil {
+		return p, nil
+	}
+	p, err := c.gc.Import(path)
+	if err != nil {
+		var serr error
+		if p, serr = c.source.Import(path); serr != nil {
+			return nil, fmt.Errorf("importing %s: %v (export data: %v)", path, serr, err)
+		}
+	}
+	c.std[path] = p
+	return p, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(file string) (string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("%s: no module line", file)
+}

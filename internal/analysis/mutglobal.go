@@ -1,0 +1,293 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// MutGlobal flags reads of mutable package-level variables from
+// functions that a goroutine can reach. The planned FFT engine exposes
+// tuning knobs as package globals; an unsynchronized read from a worker
+// goroutine is a data race the race detector only catches when a test
+// happens to write concurrently — this rule catches it statically.
+//
+// A package-level var is a candidate when it is mutable: exported (any
+// importer may assign it at runtime), or unexported and assigned
+// somewhere outside its declaration and init functions. Vars are exempt
+// when their type provides its own synchronization (anything from
+// sync or sync/atomic, and channels), and when their declaration is
+// annotated //opvet:racesafe (e.g. "guarded by mu" — the annotation is
+// the reviewer-visible claim).
+//
+// Goroutine reachability is a conservative static call graph: the
+// bodies of `go func(){...}()` literals and of named functions invoked
+// by a go statement are seeds, and every function a seed transitively
+// calls through direct (resolvable) calls is reachable. Calls through
+// function values and interface methods are not resolved, so the rule
+// under-approximates reachability rather than guessing.
+type MutGlobal struct{}
+
+func (MutGlobal) Name() string { return "mutglobal" }
+func (MutGlobal) Doc() string {
+	return "flag reads of mutable package-level vars from goroutine-reachable functions"
+}
+
+// fnode is one call-graph node: a declared function/method or a
+// function literal.
+type fnode struct {
+	name    string
+	callees []*fnode
+	reads   []readSite
+	seed    bool
+	reached bool
+}
+
+type readSite struct {
+	obj types.Object
+	pos token.Pos
+}
+
+func (MutGlobal) Run(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	candidates := mutableGlobals(m)
+	if len(candidates) == 0 {
+		return
+	}
+
+	// Index every declared function by its object so calls resolve
+	// across packages, then walk each body building edges, reads, and
+	// go-statement seeds.
+	declNode := map[types.Object]*fnode{}
+	type declBody struct {
+		pkg *Package
+		fn  *ast.FuncDecl
+	}
+	var decls []declBody
+	for _, pkg := range m.Packages {
+		eachFunc(pkg, func(_ *ast.File, fn *ast.FuncDecl) {
+			obj := pkg.Info.Defs[fn.Name]
+			if obj == nil {
+				return
+			}
+			declNode[obj] = &fnode{name: pkg.Types.Name() + "." + fn.Name.Name}
+			decls = append(decls, declBody{pkg, fn})
+		})
+	}
+	var all []*fnode
+	for _, d := range decls {
+		node := declNode[d.pkg.Info.Defs[d.fn.Name]]
+		all = append(all, node)
+		all = append(all, walkFuncBody(d.pkg.Info, d.fn.Body, node, declNode, candidates)...)
+	}
+
+	// Propagate reachability from the seeds.
+	var queue []*fnode
+	for _, n := range all {
+		if n.seed {
+			n.reached = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, c := range n.callees {
+			if !c.reached {
+				c.reached = true
+				queue = append(queue, c)
+			}
+		}
+	}
+
+	type finding struct {
+		pos token.Pos
+		vr  string
+		fn  string
+	}
+	var finds []finding
+	for _, n := range all {
+		if !n.reached {
+			continue
+		}
+		for _, r := range n.reads {
+			finds = append(finds, finding{r.pos, r.obj.Name(), n.name})
+		}
+	}
+	sort.Slice(finds, func(i, j int) bool { return finds[i].pos < finds[j].pos })
+	for _, f := range finds {
+		report(f.pos, "read of mutable global %s from goroutine-reachable %s; use an atomic, guard it and annotate //opvet:racesafe, or make it immutable", f.vr, f.fn)
+	}
+}
+
+// walkFuncBody records the reads, resolvable callees, and go-statement
+// seeds of one function body, creating child nodes for nested function
+// literals (each assumed callable by its encloser). It returns the
+// literal nodes it created.
+func walkFuncBody(info *types.Info, body *ast.BlockStmt, owner *fnode, declNode map[types.Object]*fnode, candidates map[types.Object]bool) []*fnode {
+	var created []*fnode
+	writeIdents := map[*ast.Ident]bool{}
+	var walk func(n ast.Node, owner *fnode) bool
+	walk = func(n ast.Node, owner *fnode) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			child := &fnode{name: "function literal in " + owner.name}
+			owner.callees = append(owner.callees, child)
+			created = append(created, child)
+			ast.Inspect(nn.Body, func(c ast.Node) bool { return walk(c, child) })
+			return false
+		case *ast.GoStmt:
+			// Seed the spawned function: a literal becomes a seeded
+			// child; a resolvable named function's node is seeded.
+			if lit, ok := nn.Call.Fun.(*ast.FuncLit); ok {
+				child := &fnode{name: "goroutine in " + owner.name, seed: true}
+				owner.callees = append(owner.callees, child)
+				created = append(created, child)
+				ast.Inspect(lit.Body, func(c ast.Node) bool { return walk(c, child) })
+				// Still walk the call's arguments under the owner.
+				for _, a := range nn.Call.Args {
+					ast.Inspect(a, func(c ast.Node) bool { return walk(c, owner) })
+				}
+				return false
+			}
+			if obj := calleeObject(info, nn.Call); obj != nil {
+				if n := declNode[obj]; n != nil {
+					n.seed = true
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if obj := calleeObject(info, nn); obj != nil {
+				if callee := declNode[obj]; callee != nil {
+					owner.callees = append(owner.callees, callee)
+				}
+			}
+			return true
+		case *ast.AssignStmt:
+			// A plain assignment's LHS identifiers are writes, not
+			// reads; compound assignments (+=) read too, so only
+			// token.ASSIGN and := exempt the target.
+			if nn.Tok == token.ASSIGN || nn.Tok == token.DEFINE {
+				for _, lhs := range nn.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						writeIdents[id] = true
+					}
+				}
+			}
+			return true
+		case *ast.Ident:
+			if writeIdents[nn] {
+				return true
+			}
+			if obj := info.Uses[nn]; obj != nil && candidates[obj] {
+				owner.reads = append(owner.reads, readSite{obj: obj, pos: nn.Pos()})
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool { return walk(n, owner) })
+	return created
+}
+
+// mutableGlobals collects the module's candidate package-level vars.
+func mutableGlobals(m *Module) map[types.Object]bool {
+	candidates := map[types.Object]bool{}
+	var unexported []types.Object
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					if hasAnnotation(gd.Doc, "racesafe") || hasAnnotation(vs.Doc, "racesafe") || hasAnnotation(vs.Comment, "racesafe") {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj := pkg.Info.Defs[name]
+						if obj == nil || name.Name == "_" {
+							continue
+						}
+						if typeSynchronized(obj.Type()) {
+							continue
+						}
+						if name.IsExported() {
+							candidates[obj] = true
+						} else {
+							unexported = append(unexported, obj)
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(unexported) > 0 {
+		written := globalWrites(m)
+		for _, obj := range unexported {
+			if written[obj] {
+				candidates[obj] = true
+			}
+		}
+	}
+	return candidates
+}
+
+// typeSynchronized reports whether the type carries its own
+// synchronization: anything defined in sync or sync/atomic, and
+// channels.
+func typeSynchronized(t types.Type) bool {
+	switch p := typePkgPath(t); p {
+	case "sync", "sync/atomic":
+		return true
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// globalWrites finds package-level vars assigned inside function bodies
+// other than init, or whose address is taken anywhere — either makes an
+// unexported var runtime-mutable.
+func globalWrites(m *Module) map[types.Object]bool {
+	written := map[types.Object]bool{}
+	note := func(info *types.Info, e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj, ok := info.Uses[id].(*types.Var); ok && obj.Parent() == obj.Pkg().Scope() {
+				written[obj] = true
+			}
+		}
+	}
+	for _, pkg := range m.Packages {
+		eachFunc(pkg, func(_ *ast.File, fn *ast.FuncDecl) {
+			isInit := fn.Recv == nil && fn.Name.Name == "init"
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch nn := n.(type) {
+				case *ast.AssignStmt:
+					if isInit {
+						return true
+					}
+					for _, lhs := range nn.Lhs {
+						note(pkg.Info, lhs)
+					}
+				case *ast.IncDecStmt:
+					if !isInit {
+						note(pkg.Info, nn.X)
+					}
+				case *ast.UnaryExpr:
+					// Address-taken counts even in init: the pointer
+					// can outlive it.
+					if nn.Op == token.AND {
+						note(pkg.Info, nn.X)
+					}
+				}
+				return true
+			})
+		})
+	}
+	return written
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc turns the planned-FFT zero-alloc claim into a standing
+// contract: a function annotated //opvet:noalloc must contain no
+// AST-visible allocation in its own body. Flagged operations:
+//
+//   - make and new
+//   - composite literals of slice or map type, and &T{...}
+//     (struct and array *values* live on the stack and are allowed)
+//   - append whose result is assigned to a different variable than its
+//     first argument (growing a caller-provided buffer in place,
+//     x = append(x, ...), is the caller's capacity contract and allowed)
+//   - function literals and go statements (closure and goroutine
+//     allocation)
+//   - conversions between string and []byte/[]rune
+//
+// The check is per-function and not transitive: callees are separately
+// annotated or out of contract. Panic arguments are exempt — the error
+// path is allowed to allocate its message.
+type NoAlloc struct{}
+
+func (NoAlloc) Name() string { return "noalloc" }
+func (NoAlloc) Doc() string {
+	return "flag AST-visible allocations inside functions annotated //opvet:noalloc"
+}
+
+func (NoAlloc) Run(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	for _, pkg := range m.Packages {
+		info := pkg.Info
+		eachFunc(pkg, func(_ *ast.File, fn *ast.FuncDecl) {
+			if !funcHasAnnotation(fn, "noalloc") {
+				return
+			}
+			allowedAppends := inPlaceAppends(info, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch nn := n.(type) {
+				case *ast.CallExpr:
+					if isBuiltinCall(info, nn, "panic") {
+						return false // the error path may allocate its message
+					}
+					switch {
+					case isBuiltinCall(info, nn, "make"):
+						report(nn.Pos(), "make allocates in //opvet:noalloc function %s", fn.Name.Name)
+					case isBuiltinCall(info, nn, "new"):
+						report(nn.Pos(), "new allocates in //opvet:noalloc function %s", fn.Name.Name)
+					case isBuiltinCall(info, nn, "append") && !allowedAppends[nn]:
+						report(nn.Pos(), "append into new backing in //opvet:noalloc function %s (only x = append(x, ...) is allowed)", fn.Name.Name)
+					case allocatingConversion(info, nn):
+						report(nn.Pos(), "string conversion allocates in //opvet:noalloc function %s", fn.Name.Name)
+					}
+				case *ast.CompositeLit:
+					t := info.Types[nn].Type
+					if t == nil {
+						return true
+					}
+					switch t.Underlying().(type) {
+					case *types.Slice:
+						report(nn.Pos(), "slice literal allocates in //opvet:noalloc function %s", fn.Name.Name)
+					case *types.Map:
+						report(nn.Pos(), "map literal allocates in //opvet:noalloc function %s", fn.Name.Name)
+					}
+				case *ast.UnaryExpr:
+					if nn.Op == token.AND {
+						if _, ok := ast.Unparen(nn.X).(*ast.CompositeLit); ok {
+							report(nn.Pos(), "&composite literal escapes in //opvet:noalloc function %s", fn.Name.Name)
+						}
+					}
+				case *ast.FuncLit:
+					report(nn.Pos(), "function literal allocates a closure in //opvet:noalloc function %s", fn.Name.Name)
+				case *ast.GoStmt:
+					report(nn.Pos(), "go statement allocates in //opvet:noalloc function %s", fn.Name.Name)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// inPlaceAppends collects append calls of the shape x = append(x, ...),
+// whose target and first argument resolve to the same variable.
+func inPlaceAppends(info *types.Info, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	allowed := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltinCall(info, call, "append") || len(call.Args) == 0 {
+				continue
+			}
+			lhsID, ok1 := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			argID, ok2 := ast.Unparen(call.Args[0]).(*ast.Ident)
+			if !ok1 || !ok2 {
+				continue
+			}
+			lobj := info.Uses[lhsID]
+			if lobj == nil {
+				lobj = info.Defs[lhsID]
+			}
+			if lobj != nil && lobj == info.Uses[argID] {
+				allowed[call] = true
+			}
+		}
+		return true
+	})
+	return allowed
+}
+
+// allocatingConversion reports conversions between string and
+// []byte/[]rune, which copy their operand.
+func allocatingConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return false
+	}
+	dst := tv.Type.Underlying()
+	argTV, ok := info.Types[call.Args[0]]
+	if !ok || argTV.Type == nil {
+		return false
+	}
+	src := argTV.Type.Underlying()
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

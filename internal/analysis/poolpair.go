@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolPair enforces the zero-alloc invariant from the planned FFT
+// engine: every sync.Pool.Get must be matched by a Put in the same
+// function, either via defer or on the ordinary return path. The rule
+// understands the project's borrow/return wrappers through annotations:
+// a function marked //opvet:acquire counts as a Get at its call sites
+// (and its own body is exempt — it intentionally returns the borrowed
+// buffer to the caller), and one marked //opvet:release counts as a
+// Put.
+//
+// The matching is a count heuristic, not a data-flow analysis: a
+// function is flagged when it performs more acquires than releases
+// (deferred releases included). That catches the realistic failure —
+// an early return or a forgotten release on a new path — without a CFG.
+type PoolPair struct{}
+
+func (PoolPair) Name() string { return "poolpair" }
+func (PoolPair) Doc() string {
+	return "flag sync.Pool.Get (or //opvet:acquire calls) without a matching Put/release in the same function"
+}
+
+func (PoolPair) Run(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	acquireFns, releaseFns := annotatedFuncs(m)
+	for _, pkg := range m.Packages {
+		info := pkg.Info
+		eachFunc(pkg, func(_ *ast.File, fn *ast.FuncDecl) {
+			if funcHasAnnotation(fn, "acquire") {
+				return // returns the borrowed buffer by contract
+			}
+			var acquires []token.Pos
+			releases := 0
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch classifyPoolCall(info, call, acquireFns, releaseFns) {
+				case poolAcquire:
+					acquires = append(acquires, call.Pos())
+				case poolRelease:
+					releases++
+				}
+				return true
+			})
+			if len(acquires) > releases {
+				report(acquires[releases], "%s acquires %d pooled buffer(s) but releases %d; add the missing Put/release (or annotate //opvet:acquire if the buffer is returned)",
+					fn.Name.Name, len(acquires), releases)
+			}
+		})
+	}
+}
+
+type poolCallKind int
+
+const (
+	poolNone poolCallKind = iota
+	poolAcquire
+	poolRelease
+)
+
+// classifyPoolCall decides whether a call acquires or releases a pooled
+// buffer: a sync.Pool Get/Put method call, or a call to a function
+// carrying the //opvet:acquire or //opvet:release annotation.
+func classifyPoolCall(info *types.Info, call *ast.CallExpr, acquireFns, releaseFns map[types.Object]bool) poolCallKind {
+	obj := calleeObject(info, call)
+	if obj == nil {
+		return poolNone
+	}
+	if acquireFns[obj] {
+		return poolAcquire
+	}
+	if releaseFns[obj] {
+		return poolRelease
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return poolNone
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil || !namedFrom(sig.Recv().Type(), "sync", "Pool") {
+		return poolNone
+	}
+	switch fn.Name() {
+	case "Get":
+		return poolAcquire
+	case "Put":
+		return poolRelease
+	}
+	return poolNone
+}
+
+// annotatedFuncs indexes the module's //opvet:acquire and
+// //opvet:release function declarations by their types.Object, so call
+// sites in any package resolve to them.
+func annotatedFuncs(m *Module) (acquire, release map[types.Object]bool) {
+	acquire = map[types.Object]bool{}
+	release = map[types.Object]bool{}
+	for _, pkg := range m.Packages {
+		eachFunc(pkg, func(_ *ast.File, fn *ast.FuncDecl) {
+			obj := pkg.Info.Defs[fn.Name]
+			if obj == nil {
+				return
+			}
+			if funcHasAnnotation(fn, "acquire") {
+				acquire[obj] = true
+			}
+			if funcHasAnnotation(fn, "release") {
+				release[obj] = true
+			}
+		})
+	}
+	return acquire, release
+}

@@ -1,0 +1,47 @@
+// Fixture for the errcheck-lite rule: discarded error returns fire in
+// statement, defer, and go position; checked, explicitly-discarded,
+// and allowlisted calls are silent.
+package errcheck
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func bad(f *os.File) {
+	fallible()          // want: statement
+	defer fallible()    // want: defer
+	go fallible()       // want: go
+	f.Close()           // want: method statement
+	fmt.Fprintf(f, "x") // want: Fprintf to a file is not allowlisted
+}
+
+func good(f *os.File) error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	_, err := pair()
+	if err != nil {
+		return err
+	}
+	_ = fallible() // explicit discard is a decision
+	fmt.Println("terminal output is allowlisted")
+	fmt.Fprintf(os.Stderr, "so is stderr\n")
+	var sb strings.Builder
+	sb.WriteString("never fails")
+	var buf bytes.Buffer
+	buf.WriteByte('x')
+	return f.Close()
+}
+
+func suppressed(f *os.File) {
+	f.Close() //opvet:ignore errcheck-lite read-only handle
+	//opvet:ignore errcheck-lite best-effort cleanup
+	os.Remove("tmp")
+}

@@ -1,0 +1,18 @@
+// True-negative fixture for errcheck-lite: every error is handled or
+// explicitly discarded.
+package errcheckclean
+
+import (
+	"fmt"
+	"os"
+)
+
+func run(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	fmt.Println("ok")
+	return nil
+}

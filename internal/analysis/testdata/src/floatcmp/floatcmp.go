@@ -1,0 +1,50 @@
+// Fixture for the floatcmp rule: exact comparisons on floats and
+// complex numbers fire; integer comparisons, constant folds, and
+// suppressed lines stay silent.
+package floatcmp
+
+type temp float64
+
+func bad(a, b float64, c, d complex128, t temp) int {
+	n := 0
+	if a == b { // want: equality
+		n++
+	}
+	if a != 0.5 { // want: inequality
+		n++
+	}
+	if c == d { // want: complex equality
+		n++
+	}
+	if t == 1.5 { // want: named float type
+		n++
+	}
+	return n
+}
+
+func good(a, b float64, i, j int) bool {
+	const x, y = 0.1, 0.2
+	if x == y { // constants fold exactly: silent
+		return false
+	}
+	if i == j { // integers: silent
+		return true
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff < 1e-9
+}
+
+func suppressed(a, b float64) bool {
+	if a == b { //opvet:ignore floatcmp exact sentinel comparison intended
+		return true
+	}
+	//opvet:ignore floatcmp comment-above form
+	return a != b
+}
+
+func suppressedAll(a, b float64) bool {
+	return a == b //opvet:ignore
+}

@@ -1,0 +1,6 @@
+// A test file in the fixture package: floatcmp exempts test files, so
+// the exact comparison below must produce no diagnostic (the loader
+// never even parses this file).
+package floatcmp
+
+func inTest(a, b float64) bool { return a == b }

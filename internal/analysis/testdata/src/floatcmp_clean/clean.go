@@ -1,0 +1,13 @@
+// True-negative fixture for floatcmp: tolerance comparisons and
+// integer equality only.
+package floatcmpclean
+
+func near(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+func sameLen(a, b []float64) bool { return len(a) == len(b) }

@@ -1,0 +1,83 @@
+// Fixture for the mutglobal rule: goroutine-reachable reads of mutable
+// globals fire — directly in a go-literal, through a call chain, and
+// for an unexported var that is written at runtime. Atomic-typed,
+// racesafe-annotated, channel-typed, and effectively-constant globals
+// stay silent, as do reads from functions no goroutine reaches.
+package mutglobal
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Threshold is exported: any importer can assign it at runtime.
+var Threshold = 1 << 16
+
+// counter is unexported but mutated by Bump, so it is runtime-mutable.
+var counter int
+
+// tuned is unexported and only assigned at declaration and in init:
+// effectively constant, silent.
+var tuned = 42
+
+// safeThreshold is atomic-typed: silent.
+var safeThreshold atomic.Int64
+
+// guarded is protected by mu; the annotation records the claim.
+var guarded = map[int]int{} //opvet:racesafe guarded by mu
+var mu sync.Mutex
+
+// events is a channel: synchronization is the type's job.
+var events = make(chan int, 1)
+
+func init() { tuned = 43 }
+
+// Bump is the write that makes counter mutable.
+func Bump() { counter++ }
+
+func direct() {
+	go func() {
+		_ = Threshold // want: direct read in go literal
+	}()
+}
+
+func readsThreshold() int { return Threshold } // want: reached via spawn → chain
+
+func chain() int { return readsThreshold() }
+
+func spawn() {
+	go func() {
+		_ = chain()
+	}()
+}
+
+func namedGoroutine() { // want: seeded by `go namedGoroutine()` below
+	_ = counter
+}
+
+func launch() {
+	go namedGoroutine()
+}
+
+func silent() {
+	go func() {
+		_ = tuned                     // effectively constant
+		_ = int(safeThreshold.Load()) // atomic
+		mu.Lock()
+		_ = guarded[0] // racesafe-annotated
+		mu.Unlock()
+		events <- 1 // channel
+	}()
+}
+
+func notReached() int {
+	// No goroutine reaches this function: silent even though it reads
+	// a mutable global.
+	return Threshold + counter
+}
+
+func suppressed() {
+	go func() {
+		_ = Threshold //opvet:ignore mutglobal benign startup read
+	}()
+}

@@ -1,0 +1,21 @@
+// True-negative fixture for mutglobal: goroutines read only immutable,
+// atomic, or locally-owned state.
+package mutglobalclean
+
+import "sync/atomic"
+
+const limit = 1 << 10
+
+var threshold atomic.Int64
+
+func work(n int) int {
+	done := make(chan int)
+	go func() {
+		m := int(threshold.Load())
+		if m > limit {
+			m = limit
+		}
+		done <- n * m
+	}()
+	return <-done
+}

@@ -1,0 +1,55 @@
+// Fixture for the noalloc rule: annotated functions may not contain
+// AST-visible allocations; unannotated functions are out of contract.
+package noalloc
+
+// hot is under the zero-alloc contract and violates it in every way.
+//
+//opvet:noalloc
+func hot(dst, src []float64, s string) []float64 {
+	tmp := make([]float64, len(src)) // want: make
+	p := new(int)                    // want: new
+	_ = p
+	lit := []int{1, 2, 3} // want: slice literal
+	_ = lit
+	m := map[int]int{} // want: map literal
+	_ = m
+	q := &point{1, 2} // want: &composite escapes
+	_ = q
+	b := []byte(s) // want: string conversion
+	_ = b
+	f := func() {} // want: closure
+	f()
+	go f()                       // want: go statement
+	other := append(dst, src...) // want: append into new backing
+	_ = tmp
+	return other
+}
+
+type point struct{ x, y int }
+
+// ok is annotated and clean: in-place append, stack values, panic
+// message exempt, and index arithmetic only.
+//
+//opvet:noalloc
+func ok(dst, src []float64) []float64 {
+	if len(dst) < len(src) {
+		panic("dst too small: " + string(rune('0'+len(src)%10))) // panic path may allocate
+	}
+	var acc point // struct value: stack
+	_ = acc
+	sums := [4]float64{} // array value: stack
+	for i, v := range src {
+		sums[i%4] += v
+		dst[i] = v
+	}
+	dst = append(dst, 0) // x = append(x, ...): caller's capacity contract
+	return dst
+}
+
+// unannotated may allocate freely.
+func unannotated(n int) []int { return make([]int, n) }
+
+//opvet:noalloc
+func suppressedAlloc(n int) []int {
+	return make([]int, n) //opvet:ignore noalloc cold path, measured
+}

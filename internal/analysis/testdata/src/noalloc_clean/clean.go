@@ -1,0 +1,15 @@
+// True-negative fixture for noalloc: the annotated hot loop works
+// entirely in caller-provided storage.
+package noallocclean
+
+//opvet:noalloc
+func axpy(y, x []float64, a float64) {
+	if len(y) != len(x) {
+		panic("axpy: length mismatch")
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+func cold(n int) []float64 { return make([]float64, n) }

@@ -1,0 +1,57 @@
+// Fixture for the poolpair rule: Get without Put fires, balanced and
+// deferred pairs are silent, and the //opvet:acquire / //opvet:release
+// wrapper annotations transfer the obligation to call sites.
+package poolpair
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 64); return &b }}
+
+func leak() { // want: Get with no Put
+	buf := pool.Get().(*[]byte)
+	_ = buf
+}
+
+func leakOnEarlyReturn(n int) { // want: two Gets, one Put
+	a := pool.Get().(*[]byte)
+	b := pool.Get().(*[]byte)
+	_ = b
+	if n > 0 {
+		pool.Put(a)
+	}
+}
+
+func balanced() {
+	buf := pool.Get().(*[]byte)
+	defer pool.Put(buf)
+}
+
+func balancedPlain() {
+	buf := pool.Get().(*[]byte)
+	pool.Put(buf)
+}
+
+// borrow returns a pooled buffer; its callers must release it.
+//
+//opvet:acquire
+func borrow() *[]byte { return pool.Get().(*[]byte) }
+
+// release returns a borrowed buffer to the pool.
+//
+//opvet:release
+func release(b *[]byte) { pool.Put(b) }
+
+func wrapperLeak() { // want: acquire-annotated call with no release
+	b := borrow()
+	_ = b
+}
+
+func wrapperBalanced() {
+	b := borrow()
+	defer release(b)
+}
+
+func suppressedLeak() {
+	b := pool.Get().(*[]byte) //opvet:ignore poolpair ownership handed to channel
+	_ = b
+}

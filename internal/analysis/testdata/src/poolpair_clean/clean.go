@@ -1,0 +1,21 @@
+// True-negative fixture for poolpair: every acquisition is released.
+package poolpairclean
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 64); return &b }}
+
+func roundTrip() int {
+	buf := pool.Get().(*[]byte)
+	defer pool.Put(buf)
+	return len(*buf)
+}
+
+func twoBuffers() int {
+	a := pool.Get().(*[]byte)
+	b := pool.Get().(*[]byte)
+	n := len(*a) + len(*b)
+	pool.Put(a)
+	pool.Put(b)
+	return n
+}

@@ -1,0 +1,109 @@
+// Shared type- and AST-inspection helpers for the rules.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deref strips one level of pointer indirection.
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedFrom reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// typePkgPath returns the defining package path of t's (possibly
+// pointer-wrapped) named type, or "".
+func typePkgPath(t types.Type) string {
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	if obj := n.Obj(); obj != nil && obj.Pkg() != nil {
+		return obj.Pkg().Path()
+	}
+	return ""
+}
+
+// isFloatOrComplex reports whether t's underlying type is a
+// floating-point or complex basic type.
+func isFloatOrComplex(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// calleeObject resolves the object a call expression invokes: the
+// function or method for direct calls, nil for builtins, conversions,
+// and calls through function-typed values.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Func); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified call (fmt.Println): no Selection entry,
+		// the Sel identifier resolves directly.
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// isBuiltinCall reports whether the call invokes the named builtin.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// containsError reports whether t is, or (for tuples) contains, the
+// predeclared error type.
+func containsError(t types.Type) bool {
+	switch tt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < tt.Len(); i++ {
+			if containsError(tt.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, types.Universe.Lookup("error").Type())
+	}
+}
+
+// eachFunc invokes f for every function declaration with a body in the
+// package.
+func eachFunc(pkg *Package, f func(file *ast.File, fn *ast.FuncDecl)) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				f(file, fn)
+			}
+		}
+	}
+}

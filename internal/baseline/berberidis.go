@@ -17,7 +17,7 @@ type BerberidisConfig struct {
 }
 
 func (c BerberidisConfig) withDefaults(n int) BerberidisConfig {
-	if c.MinConfidence == 0 {
+	if c.MinConfidence == 0 { //opvet:ignore floatcmp zero means unset
 		c.MinConfidence = 0.5
 	}
 	if c.MaxPeriod == 0 {

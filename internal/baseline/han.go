@@ -132,7 +132,7 @@ func HanMine(s *series.Series, p int, minSup float64, maxPatterns int) []KnownPe
 		if fi != fj {
 			return fi < fj
 		}
-		if out[i].Support != out[j].Support {
+		if out[i].Support != out[j].Support { //opvet:ignore floatcmp exact tie-break in sort comparator
 			return out[i].Support > out[j].Support
 		}
 		return lessInts(out[i].Symbols, out[j].Symbols)

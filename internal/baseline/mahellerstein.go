@@ -29,7 +29,7 @@ type MHConfig struct {
 }
 
 func (c MHConfig) withDefaults() MHConfig {
-	if c.Chi == 0 {
+	if c.Chi == 0 { //opvet:ignore floatcmp zero means unset
 		c.Chi = 3.84
 	}
 	if c.MinCount == 0 {
@@ -79,7 +79,7 @@ func MaHellerstein(s *series.Series, cfg MHConfig) map[int][]PeriodScore {
 			}
 		}
 		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].Score != cands[j].Score {
+			if cands[i].Score != cands[j].Score { //opvet:ignore floatcmp exact tie-break in sort comparator
 				return cands[i].Score > cands[j].Score
 			}
 			return cands[i].Period < cands[j].Period

@@ -164,7 +164,7 @@ func (m *MaxSubpatternMiner) Mine(maxPatterns int) []KnownPeriodPattern {
 		if fi != fj {
 			return fi < fj
 		}
-		if out[i].Support != out[j].Support {
+		if out[i].Support != out[j].Support { //opvet:ignore floatcmp exact tie-break in sort comparator
 			return out[i].Support > out[j].Support
 		}
 		return lessInts(out[i].Symbols, out[j].Symbols)

@@ -33,7 +33,7 @@ func (c Config) withDefaults() Config {
 	if c.Days == 0 {
 		c.Days = 365
 	}
-	if c.NoiseSD == 0 {
+	if c.NoiseSD == 0 { //opvet:ignore floatcmp zero means unset
 		c.NoiseSD = 600
 	}
 	return c

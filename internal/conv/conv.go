@@ -52,6 +52,8 @@ func Map(s *series.Series) *Mapped {
 // series has a lag-p match of symbol k = w mod σ starting at position
 // i = n−p−1−⌊w/σ⌋. Equal to T′ AND (T′ >> σp). dst may be nil or a previous
 // result to reuse its storage.
+//
+//opvet:noalloc
 func (m *Mapped) Component(p int, dst *bitvec.Vector) *bitvec.Vector {
 	if p < 0 || p >= m.N {
 		panic(fmt.Sprintf("conv: period %d out of range [0,%d)", p, m.N))
@@ -198,6 +200,8 @@ func EmptyIndicators(n, sigma int) *Indicators {
 }
 
 // Observe records that position i holds symbol k.
+//
+//opvet:noalloc
 func (ind *Indicators) Observe(i, k int) { ind.vecs[k].Set(i) }
 
 // Vector returns the indicator vector of symbol k.
@@ -206,6 +210,8 @@ func (ind *Indicators) Vector(k int) *bitvec.Vector { return ind.vecs[k] }
 // MatchSet returns the lag-p match set of symbol k: bit i is set iff
 // t_i = t_{i+p} = s_k. Equivalent to the symbol-k bits of c′_p. dst may be
 // nil or reused storage.
+//
+//opvet:noalloc
 func (ind *Indicators) MatchSet(k, p int, dst *bitvec.Vector) *bitvec.Vector {
 	return ind.vecs[k].AndShiftRight(p, dst)
 }

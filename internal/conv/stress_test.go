@@ -1,0 +1,103 @@
+package conv
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"periodica/internal/alphabet"
+	"periodica/internal/fft"
+	"periodica/internal/series"
+)
+
+// TestBatchedCountsConcurrentStress hammers the shared plan cache and the
+// batched autocorrelation path from many goroutines at once — while another
+// goroutine keeps flipping the parallelism threshold — and asserts every
+// result is bit-identical to the serial reference. Run under -race this
+// exercises the atomic threshold, the mutex-guarded plan cache, and the
+// scratch pool's concurrent Get/Put traffic.
+func TestBatchedCountsConcurrentStress(t *testing.T) {
+	const (
+		n     = 3000
+		sigma = 7
+	)
+	rng := rand.New(rand.NewSource(42))
+	idx := make([]uint16, n)
+	for i := range idx {
+		idx[i] = uint16(rng.Intn(sigma))
+	}
+	s := series.FromIndices(alphabet.Letters(sigma), idx)
+
+	// Serial reference, computed before any threshold games start.
+	want := LagMatchCountsBatched(s, 1)
+
+	defer fft.SetParallelThreshold(fft.DefaultParallelThreshold)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// One goroutine keeps moving the threshold so transforms race between
+	// the serial and parallel butterfly paths mid-run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		thresholds := []int{256, 1 << 12, fft.DefaultParallelThreshold}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				fft.SetParallelThreshold(thresholds[i%len(thresholds)])
+			}
+		}
+	}()
+
+	// Another keeps the plan cache busy with assorted sizes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sizes := []int{64, 256, 1024, 4096, fft.NextPow2(2 * n)}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				fft.PlanFor(sizes[i%len(sizes)])
+			}
+		}
+	}()
+
+	const (
+		hammers = 8
+		rounds  = 4
+	)
+	var mu sync.Mutex
+	var failed bool
+	var hwg sync.WaitGroup
+	for g := 0; g < hammers; g++ {
+		hwg.Add(1)
+		go func(g int) {
+			defer hwg.Done()
+			for r := 0; r < rounds; r++ {
+				got := LagMatchCountsBatched(s, 1+(g+r)%4)
+				for k := range want {
+					for p := range want[k] {
+						if got[k][p] != want[k][p] {
+							mu.Lock()
+							if !failed {
+								failed = true
+								t.Errorf("goroutine %d round %d: counts[%d][%d] = %d, want %d",
+									g, r, k, p, got[k][p], want[k][p])
+							}
+							mu.Unlock()
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	hwg.Wait()
+	close(stop)
+	wg.Wait()
+}

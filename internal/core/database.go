@@ -85,7 +85,7 @@ func MineDatabase(db []*series.Series, opt Options, minFraction float64) (*Datab
 		if a.Sequences != b.Sequences {
 			return a.Sequences > b.Sequences
 		}
-		if a.MeanSupport != b.MeanSupport {
+		if a.MeanSupport != b.MeanSupport { //opvet:ignore floatcmp exact tie-break in sort comparator
 			return a.MeanSupport > b.MeanSupport
 		}
 		if a.Pattern.Period != b.Pattern.Period {

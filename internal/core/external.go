@@ -36,7 +36,7 @@ func DetectCandidatesFile(path string, psi float64, maxPeriod int, cfg ExternalC
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; nothing to lose on close
 	br := bufio.NewReader(f)
 	header, err := br.ReadString('\n')
 	if err != nil {
@@ -64,7 +64,7 @@ func DetectCandidatesFile(path string, psi float64, maxPeriod int, cfg ExternalC
 	if err != nil {
 		return nil, err
 	}
-	defer os.RemoveAll(work)
+	defer func() { _ = os.RemoveAll(work) }() // best-effort temp cleanup
 
 	// One pass: split the symbol stream into σ indicator files.
 	indicators := make([]*bufio.Writer, sigma)
@@ -149,6 +149,9 @@ func WriteSeriesFile(path string, s *series.Series) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return series.WriteBinary(f, s)
+	if err := series.WriteBinary(f, s); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }

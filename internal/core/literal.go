@@ -127,7 +127,7 @@ func MineLiteral(s *series.Series, psi float64, maxPatterns int) (*Result, error
 		if res.Patterns[i].Period != res.Patterns[j].Period {
 			return res.Patterns[i].Period < res.Patterns[j].Period
 		}
-		if res.Patterns[i].Support != res.Patterns[j].Support {
+		if res.Patterns[i].Support != res.Patterns[j].Support { //opvet:ignore floatcmp exact tie-break in sort comparator
 			return res.Patterns[i].Support > res.Patterns[j].Support
 		}
 		return lessFixed(res.Patterns[i].Fixed, res.Patterns[j].Fixed)

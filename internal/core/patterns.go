@@ -127,7 +127,7 @@ func minePatterns(det *detector, pers []SymbolPeriodicity, opt Options) (out []P
 		if out[i].Period != out[j].Period {
 			return out[i].Period < out[j].Period
 		}
-		if out[i].Support != out[j].Support {
+		if out[i].Support != out[j].Support { //opvet:ignore floatcmp exact tie-break in sort comparator
 			return out[i].Support > out[j].Support
 		}
 		return lessFixed(out[i].Fixed, out[j].Fixed)

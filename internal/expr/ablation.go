@@ -61,16 +61,18 @@ func EngineAblation(sizes []int, psi float64, naiveLimit int, seed int64) ([]Eng
 }
 
 // RenderEngineAblation prints the engine timing rows.
-func RenderEngineAblation(w io.Writer, title string, rows []EngineRow) {
-	fmt.Fprintf(w, "%s\n", title)
-	fmt.Fprintf(w, "%10s  %10s  %10s  %10s  %10s\n", "n", "naive (s)", "bitset (s)", "fft (s)", "parallel")
+func RenderEngineAblation(w io.Writer, title string, rows []EngineRow) error {
+	ew := &errWriter{w: w}
+	ew.printf("%s\n", title)
+	ew.printf("%10s  %10s  %10s  %10s  %10s\n", "n", "naive (s)", "bitset (s)", "fft (s)", "parallel")
 	for _, r := range rows {
 		naive := "-"
 		if !math.IsNaN(r.NaiveSecs) {
 			naive = fmt.Sprintf("%.4f", r.NaiveSecs)
 		}
-		fmt.Fprintf(w, "%10d  %10s  %10.4f  %10.4f  %10.4f\n", r.N, naive, r.BitsetSecs, r.FFTSecs, r.ParallelSecs)
+		ew.printf("%10d  %10s  %10.4f  %10.4f  %10.4f\n", r.N, naive, r.BitsetSecs, r.FFTSecs, r.ParallelSecs)
 	}
+	return ew.err
 }
 
 // SketchRow reports the trends sketch's accuracy/cost trade-off at one
@@ -119,12 +121,14 @@ func SketchAblation(length int, repetitions []int, seed int64) ([]SketchRow, err
 }
 
 // RenderSketchAblation prints the sketch accuracy/cost rows.
-func RenderSketchAblation(w io.Writer, title string, rows []SketchRow) {
-	fmt.Fprintf(w, "%s\n", title)
-	fmt.Fprintf(w, "%12s  %14s  %10s\n", "repetitions", "mean rel err", "time (s)")
+func RenderSketchAblation(w io.Writer, title string, rows []SketchRow) error {
+	ew := &errWriter{w: w}
+	ew.printf("%s\n", title)
+	ew.printf("%12s  %14s  %10s\n", "repetitions", "mean rel err", "time (s)")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%12d  %13.2f%%  %10.4f\n", r.Repetitions, r.MeanRelErr*100, r.Secs)
+		ew.printf("%12d  %13.2f%%  %10.4f\n", r.Repetitions, r.MeanRelErr*100, r.Secs)
 	}
+	return ew.err
 }
 
 // PruneRow reports the FFT engine's prune effectiveness at one threshold and
@@ -178,11 +182,13 @@ func PruneAblation(length int, thresholdsPct, minPairs []int, seed int64) ([]Pru
 }
 
 // RenderPruneAblation prints the prune effectiveness rows.
-func RenderPruneAblation(w io.Writer, title string, rows []PruneRow) {
-	fmt.Fprintf(w, "%s\n", title)
-	fmt.Fprintf(w, "%10s  %9s  %12s  %12s  %10s\n", "threshold", "minPairs", "survivors", "total", "resolved")
+func RenderPruneAblation(w io.Writer, title string, rows []PruneRow) error {
+	ew := &errWriter{w: w}
+	ew.printf("%s\n", title)
+	ew.printf("%10s  %9s  %12s  %12s  %10s\n", "threshold", "minPairs", "survivors", "total", "resolved")
 	for _, r := range rows {
 		frac := float64(r.Survivors) / float64(r.Total)
-		fmt.Fprintf(w, "%9d%%  %9d  %12d  %12d  %9.1f%%\n", r.ThresholdPct, r.MinPairs, r.Survivors, r.Total, frac*100)
+		ew.printf("%9d%%  %9d  %12d  %12d  %9.1f%%\n", r.ThresholdPct, r.MinPairs, r.Survivors, r.Total, frac*100)
 	}
+	return ew.err
 }

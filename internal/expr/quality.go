@@ -205,7 +205,10 @@ func rankMaHellerstein(s *series.Series) ([]int, error) {
 		all = append(all, scored{p, sc})
 	}
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].score != all[j].score {
+		// Exact comparison keeps the comparator transitive; a tolerance
+		// here would make the sort order input-dependent.
+		if all[i].score != all[j].score { //opvet:ignore floatcmp exact tie-break in sort comparator
+
 			return all[i].score > all[j].score
 		}
 		return all[i].period < all[j].period
@@ -218,13 +221,15 @@ func rankMaHellerstein(s *series.Series) ([]int, error) {
 }
 
 // RenderQuality prints the cross-method rows grouped by method.
-func RenderQuality(w io.Writer, title string, rows []QualityRow, topK int) {
-	fmt.Fprintf(w, "%s\n", title)
-	fmt.Fprintf(w, "%-18s  %-10s  %8s  %9s  %10s  %10s\n", "method", "noise",
+func RenderQuality(w io.Writer, title string, rows []QualityRow, topK int) error {
+	ew := &errWriter{w: w}
+	ew.printf("%s\n", title)
+	ew.printf("%-18s  %-10s  %8s  %9s  %10s  %10s\n", "method", "noise",
 		fmt.Sprintf("hit@%d", topK), fmt.Sprintf("exact@%d", topK), "mean rank", "exact rank")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-18s  %-10s  %8.2f  %9.2f  %10.1f  %10.1f\n",
+		ew.printf("%-18s  %-10s  %8.2f  %9.2f  %10.1f  %10.1f\n",
 			r.Method, fmt.Sprintf("%s %.0f%%", r.Noise, r.Ratio*100),
 			r.HitAtK, r.ExactAtK, r.MeanRank, r.ExactRank)
 	}
+	return ew.err
 }

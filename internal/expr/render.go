@@ -9,8 +9,9 @@ import (
 
 // RenderCorrectness writes the Fig. 3 / Fig. 4 points as one curve per
 // (distribution, period) with a column per multiple of P.
-func RenderCorrectness(w io.Writer, title string, points []CorrectnessPoint) {
-	fmt.Fprintf(w, "%s\n", title)
+func RenderCorrectness(w io.Writer, title string, points []CorrectnessPoint) error {
+	ew := &errWriter{w: w}
+	ew.printf("%s\n", title)
 	type key struct {
 		dist   string
 		period int
@@ -32,24 +33,26 @@ func RenderCorrectness(w io.Writer, title string, points []CorrectnessPoint) {
 		}
 	}
 	sort.Ints(mults)
-	fmt.Fprintf(w, "%-12s", "curve")
+	ew.printf("%-12s", "curve")
 	for _, m := range mults {
-		fmt.Fprintf(w, "  %6s", fmt.Sprintf("%dP", m))
+		ew.printf("  %6s", fmt.Sprintf("%dP", m))
 	}
-	fmt.Fprintln(w)
+	ew.println()
 	for _, k := range keys {
-		fmt.Fprintf(w, "%-12s", fmt.Sprintf("%s, P=%d", k.dist, k.period))
+		ew.printf("%-12s", fmt.Sprintf("%s, P=%d", k.dist, k.period))
 		for _, m := range mults {
-			fmt.Fprintf(w, "  %6.3f", curves[k][m])
+			ew.printf("  %6.3f", curves[k][m])
 		}
-		fmt.Fprintln(w)
+		ew.println()
 	}
+	return ew.err
 }
 
 // RenderNoise writes the Fig. 6 sweep as one row per noise mixture with a
 // column per ratio.
-func RenderNoise(w io.Writer, title string, points []NoisePoint) {
-	fmt.Fprintf(w, "%s\n", title)
+func RenderNoise(w io.Writer, title string, points []NoisePoint) error {
+	ew := &errWriter{w: w}
+	ew.printf("%s\n", title)
 	var ratios []float64
 	seen := map[float64]bool{}
 	rows := map[string]map[float64]float64{}
@@ -67,61 +70,70 @@ func RenderNoise(w io.Writer, title string, points []NoisePoint) {
 		rows[k][pt.Ratio] = pt.Confidence
 	}
 	sort.Float64s(ratios)
-	fmt.Fprintf(w, "%-8s", "noise")
+	ew.printf("%-8s", "noise")
 	for _, r := range ratios {
-		fmt.Fprintf(w, "  %6.0f%%", r*100)
+		ew.printf("  %6.0f%%", r*100)
 	}
-	fmt.Fprintln(w)
+	ew.println()
 	for _, k := range order {
-		fmt.Fprintf(w, "%-8s", k)
+		ew.printf("%-8s", k)
 		for _, r := range ratios {
-			fmt.Fprintf(w, "  %7.3f", rows[k][r])
+			ew.printf("  %7.3f", rows[k][r])
 		}
-		fmt.Fprintln(w)
+		ew.println()
 	}
+	return ew.err
 }
 
 // RenderTiming writes the Fig. 5 points (log-log in the paper; plain columns
 // here).
-func RenderTiming(w io.Writer, title string, points []TimingPoint) {
-	fmt.Fprintf(w, "%s\n", title)
-	fmt.Fprintf(w, "%12s  %14s  %14s  %8s\n", "n (symbols)", "miner (s)", "trends (s)", "speedup")
+func RenderTiming(w io.Writer, title string, points []TimingPoint) error {
+	ew := &errWriter{w: w}
+	ew.printf("%s\n", title)
+	ew.printf("%12s  %14s  %14s  %8s\n", "n (symbols)", "miner (s)", "trends (s)", "speedup")
 	for _, pt := range points {
 		speedup := 0.0
 		if pt.MinerSecs > 0 {
 			speedup = pt.TrendsSecs / pt.MinerSecs
 		}
-		fmt.Fprintf(w, "%12d  %14.4f  %14.4f  %7.2fx\n", pt.N, pt.MinerSecs, pt.TrendsSecs, speedup)
+		ew.printf("%12d  %14.4f  %14.4f  %7.2fx\n", pt.N, pt.MinerSecs, pt.TrendsSecs, speedup)
 	}
+	return ew.err
 }
 
 // RenderPeriodTable writes Table 1 rows.
-func RenderPeriodTable(w io.Writer, title string, rows []PeriodRow) {
-	fmt.Fprintf(w, "%s\n", title)
-	fmt.Fprintf(w, "%10s  %9s  %s\n", "threshold", "# periods", "some periods")
+func RenderPeriodTable(w io.Writer, title string, rows []PeriodRow) error {
+	ew := &errWriter{w: w}
+	ew.printf("%s\n", title)
+	ew.printf("%10s  %9s  %s\n", "threshold", "# periods", "some periods")
 	for _, row := range rows {
 		var sample []string
 		for _, p := range row.Sample {
 			sample = append(sample, fmt.Sprintf("%d", p))
 		}
-		fmt.Fprintf(w, "%9d%%  %9d  %s\n", row.ThresholdPct, row.NumPeriods, strings.Join(sample, ", "))
+		ew.printf("%9d%%  %9d  %s\n", row.ThresholdPct, row.NumPeriods, strings.Join(sample, ", "))
 	}
+	return ew.err
 }
 
 // RenderSinglePatternTable writes Table 2 rows.
-func RenderSinglePatternTable(w io.Writer, title string, rows []SinglePatternRow) {
-	fmt.Fprintf(w, "%s\n", title)
-	fmt.Fprintf(w, "%10s  %10s  %s\n", "threshold", "# patterns", "patterns")
+func RenderSinglePatternTable(w io.Writer, title string, rows []SinglePatternRow) error {
+	ew := &errWriter{w: w}
+	ew.printf("%s\n", title)
+	ew.printf("%10s  %10s  %s\n", "threshold", "# patterns", "patterns")
 	for _, row := range rows {
-		fmt.Fprintf(w, "%9d%%  %10d  %s\n", row.ThresholdPct, len(row.Patterns), strings.Join(row.Patterns, " "))
+		ew.printf("%9d%%  %10d  %s\n", row.ThresholdPct, len(row.Patterns), strings.Join(row.Patterns, " "))
 	}
+	return ew.err
 }
 
 // RenderPatternTable writes Table 3 rows.
-func RenderPatternTable(w io.Writer, title string, rows []PatternRow) {
-	fmt.Fprintf(w, "%s\n", title)
-	fmt.Fprintf(w, "%-32s  %s\n", "periodic pattern", "support")
+func RenderPatternTable(w io.Writer, title string, rows []PatternRow) error {
+	ew := &errWriter{w: w}
+	ew.printf("%s\n", title)
+	ew.printf("%-32s  %s\n", "periodic pattern", "support")
 	for _, row := range rows {
-		fmt.Fprintf(w, "%-32s  %6.2f%%\n", row.Pattern, row.SupportPct)
+		ew.printf("%-32s  %6.2f%%\n", row.Pattern, row.SupportPct)
 	}
+	return ew.err
 }

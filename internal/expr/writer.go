@@ -1,0 +1,28 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+)
+
+// errWriter latches the first write error so the renderers can format
+// a whole report with one error check at the end instead of one per
+// line. After a failure every further print is a no-op.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}
+
+func (ew *errWriter) println(args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintln(ew.w, args...)
+}

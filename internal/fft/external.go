@@ -37,7 +37,7 @@ func (o ExternalOptions) withDefaults() ExternalOptions {
 // TransformFile runs an in-place forward or inverse DFT over a file of n
 // little-endian complex128 values (16 bytes each: real, imaginary). n must be
 // a power of two ≥ 4.
-func TransformFile(path string, n int, inverse bool, opts ExternalOptions) error {
+func TransformFile(path string, n int, inverse bool, opts ExternalOptions) (err error) {
 	opts = opts.withDefaults()
 	if !IsPow2(n) || n < 4 {
 		return fmt.Errorf("fft: external transform needs a power-of-two length ≥ 4, got %d", n)
@@ -53,7 +53,12 @@ func TransformFile(path string, n int, inverse bool, opts ExternalOptions) error
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		// f was written in place; a close failure can hide lost writes.
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	if err := checkSize(f, n); err != nil {
 		return err
 	}
@@ -66,8 +71,10 @@ func TransformFile(path string, n int, inverse bool, opts ExternalOptions) error
 	if err != nil {
 		return err
 	}
-	defer os.Remove(scratch.Name())
-	defer scratch.Close()
+	defer func() { // scratch is discarded either way; cleanup is best-effort
+		_ = scratch.Close()
+		_ = os.Remove(scratch.Name())
+	}()
 	if err := scratch.Truncate(int64(n) * complexBytes); err != nil {
 		return err
 	}
@@ -248,8 +255,11 @@ func WriteComplexFile(path string, values []complex128) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return writeComplex(f, 0, values)
+	if err := writeComplex(f, 0, values); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // ReadComplexFile reads n complex values from a file written by
@@ -259,7 +269,7 @@ func ReadComplexFile(path string, n int) ([]complex128, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; nothing to lose on close
 	out := make([]complex128, n)
 	if err := readComplex(f, 0, out); err != nil {
 		return nil, err
@@ -277,7 +287,7 @@ func AutocorrelateFile(indicatorPath string, n int, opts ExternalOptions) ([]int
 	if err != nil {
 		return nil, err
 	}
-	defer in.Close()
+	defer func() { _ = in.Close() }() // read-only; nothing to lose on close
 
 	m := NextPow2(2 * n)
 	if m < 4 {
@@ -291,8 +301,10 @@ func AutocorrelateFile(indicatorPath string, n int, opts ExternalOptions) ([]int
 	if err != nil {
 		return nil, err
 	}
-	defer os.Remove(work.Name())
-	defer work.Close()
+	defer func() { // work is discarded either way; cleanup is best-effort
+		_ = work.Close()
+		_ = os.Remove(work.Name())
+	}()
 	if err := work.Truncate(int64(m) * complexBytes); err != nil {
 		return nil, err
 	}

@@ -14,13 +14,31 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// ParallelThreshold is the transform length at or above which Forward and
-// Inverse may split butterfly stages across GOMAXPROCS goroutines. Lengths
-// below it always run serially. Tune it together with GOMAXPROCS; raising it
-// (or setting GOMAXPROCS=1) forces serial transforms.
-var ParallelThreshold = 1 << 16
+// DefaultParallelThreshold is the initial parallelism threshold: the
+// transform length at or above which Forward and Inverse may split butterfly
+// stages across GOMAXPROCS goroutines.
+const DefaultParallelThreshold = 1 << 16
+
+// parallelThreshold holds the current threshold. Transforms read it on every
+// call, possibly from many goroutines at once (the batched autocorrelation
+// workers), so it is atomic rather than a plain package variable.
+var parallelThreshold atomic.Int64
+
+func init() { parallelThreshold.Store(DefaultParallelThreshold) }
+
+// ParallelThreshold returns the transform length at or above which Forward
+// and Inverse may split butterfly stages across GOMAXPROCS goroutines.
+// Lengths below it always run serially.
+func ParallelThreshold() int { return int(parallelThreshold.Load()) }
+
+// SetParallelThreshold changes the parallelism threshold. Tune it together
+// with GOMAXPROCS; raising it (or setting GOMAXPROCS=1) forces serial
+// transforms. Safe to call concurrently with running transforms: each
+// transform reads the threshold once, atomically, when it starts.
+func SetParallelThreshold(n int) { parallelThreshold.Store(int64(n)) }
 
 // minParallelChunk bounds the per-worker chunk of the contiguous early
 // stages; smaller chunks spend more time at barriers than in butterflies.
@@ -113,23 +131,26 @@ func PlanFor(n int) *Plan {
 }
 
 // scratch borrows a length-n buffer from the plan's pool; release returns it.
+//
+//opvet:acquire
 func (p *Plan) scratch() *[]complex128 {
 	return p.pool.Get().(*[]complex128)
 }
 
+//opvet:release
 func (p *Plan) release(buf *[]complex128) { p.pool.Put(buf) }
 
 // autoWorkers picks the worker count for one transform: GOMAXPROCS for
-// lengths at or above ParallelThreshold, 1 below it.
+// lengths at or above the parallel threshold, 1 below it.
 func (p *Plan) autoWorkers() int {
-	if p.n >= ParallelThreshold {
+	if p.n >= ParallelThreshold() {
 		return runtime.GOMAXPROCS(0)
 	}
 	return 1
 }
 
 // Forward computes the in-place forward DFT of x. len(x) must equal Size.
-// Transforms of length ≥ ParallelThreshold use GOMAXPROCS workers; use
+// Transforms of length ≥ ParallelThreshold() use GOMAXPROCS workers; use
 // ForwardWorkers for explicit control.
 func (p *Plan) Forward(x []complex128) { p.Transform(x, false, p.autoWorkers()) }
 
@@ -145,6 +166,8 @@ func (p *Plan) InverseWorkers(x []complex128, workers int) { p.Transform(x, true
 // Transform runs the planned butterfly network over x, forward or inverse,
 // with the given worker count. The output is bit-identical for every worker
 // count: partitioning never reorders the operations applied to an element.
+//
+//opvet:noalloc
 func (p *Plan) Transform(x []complex128, inverse bool, workers int) {
 	n := p.n
 	if len(x) != n {
@@ -174,6 +197,8 @@ func (p *Plan) Transform(x []complex128, inverse bool, workers int) {
 // applySwaps performs the bit-reversal permutation from a flattened pair
 // list. The pairs are disjoint transpositions, so any partition of the list
 // can run concurrently without conflicting writes.
+//
+//opvet:noalloc
 func applySwaps(x []complex128, swaps []int32) {
 	for i := 0; i < len(swaps); i += 2 {
 		a, b := swaps[i], swaps[i+1]
@@ -189,6 +214,8 @@ func applySwaps(x []complex128, swaps []int32) {
 // multiplies by is the same table entry the unfused stage would read, so
 // fusing changes no floating-point operation: any stage partitioning
 // produces bit-identical output.
+//
+//opvet:noalloc
 func runStages(x []complex128, tw []complex128, lo, hi, maxSize int) {
 	if maxSize >= 4 {
 		// tw[3] = exp(∓2πi/4) = ∓i distinguishes forward from inverse.
@@ -232,6 +259,8 @@ func runStages(x []complex128, tw []complex128, lo, hi, maxSize int) {
 // fusedStagePair applies the stages of size s and 2s in one pass: the four
 // quarters of each size-2s block travel through both butterfly levels while
 // their intermediates stay in registers.
+//
+//opvet:noalloc
 func fusedStagePair(x []complex128, tw []complex128, lo, hi, s int) {
 	q := s >> 1         // half of the first stage
 	tA := tw[q : 2*q]   // twiddles of the size-s stage
@@ -260,6 +289,8 @@ func fusedStagePair(x []complex128, tw []complex128, lo, hi, s int) {
 
 // butterflies applies butterflies k0..k1 of one size-len(blk) block:
 // blk[k], blk[k+half] ← blk[k] ± w_k·blk[k+half], with w_k = t[k].
+//
+//opvet:noalloc
 func butterflies(blk []complex128, t []complex128, k0, k1 int) {
 	half := len(t)
 	hi := blk[half:]
@@ -338,6 +369,8 @@ func parallelRange(workers int, f func(w int)) {
 }
 
 // loadPadded copies a real sequence into the zero-padded scratch buffer.
+//
+//opvet:noalloc
 func loadPadded(dst []complex128, src []float64) {
 	for i, v := range src {
 		dst[i] = complex(v, 0)
@@ -363,6 +396,8 @@ func sameSlice(a, b []float64) bool {
 
 // crossCorrelateInto writes the first len(out) correlation lags into out
 // using pooled scratch only.
+//
+//opvet:noalloc
 func (p *Plan) crossCorrelateInto(a, b []float64, out []float64) {
 	if len(a)+len(b) > p.n {
 		panic(fmt.Sprintf("fft: plan size %d too small for correlation of %d+%d", p.n, len(a), len(b)))
@@ -410,6 +445,8 @@ func (p *Plan) AutocorrelateCounts(x []float64) []int64 {
 // AutocorrelateCountsInto is AutocorrelateCounts writing into out (length
 // len(x)); allocation-free after the scratch pool is warm. workers ≤ 0
 // selects the automatic policy.
+//
+//opvet:noalloc
 func (p *Plan) AutocorrelateCountsInto(x []float64, out []int64, workers int) []int64 {
 	if 2*len(x) > p.n {
 		panic(fmt.Sprintf("fft: plan size %d too small for autocorrelation of %d", p.n, len(x)))
@@ -453,6 +490,8 @@ func (p *Plan) AutocorrelateCountsPair(x1, x2 []float64) ([]int64, []int64) {
 // AutocorrelateCountsPairInto is AutocorrelateCountsPair writing into the
 // caller's count slices (each of length len(x1)); allocation-free after the
 // scratch pool is warm. workers ≤ 0 selects the automatic policy.
+//
+//opvet:noalloc
 func (p *Plan) AutocorrelateCountsPairInto(x1, x2 []float64, out1, out2 []int64, workers int) {
 	n := len(x1)
 	if len(x2) != n {
@@ -477,6 +516,9 @@ func (p *Plan) AutocorrelateCountsPairInto(x1, x2 []float64, out1, out2 []int64,
 // including) rounding: element i of the result holds the two raw lag-i
 // correlation values as (r1, r2). The returned buffer belongs to the plan's
 // pool; the caller must release it.
+//
+//opvet:acquire
+//opvet:noalloc
 func (p *Plan) pairSpectrum(x1, x2 []float64, workers int) *[]complex128 {
 	n := len(x1)
 	m := p.n

@@ -190,7 +190,7 @@ func MustGenerate(cfg Config) (*series.Series, []uint16) {
 
 func applyNoise(rng *rand.Rand, data []uint16, cfg Config) []uint16 {
 	kinds := cfg.Noise.Kinds()
-	if len(kinds) == 0 || cfg.NoiseRatio == 0 {
+	if len(kinds) == 0 || cfg.NoiseRatio == 0 { //opvet:ignore floatcmp zero means unset
 		return data
 	}
 	events := int(cfg.NoiseRatio * float64(cfg.Length))

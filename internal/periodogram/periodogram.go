@@ -41,7 +41,7 @@ func (c Config) withDefaults(n int) Config {
 	if c.MaxPeriod == 0 {
 		c.MaxPeriod = n / 2
 	}
-	if c.PowerFactor == 0 {
+	if c.PowerFactor == 0 { //opvet:ignore floatcmp zero means unset
 		c.PowerFactor = 4
 	}
 	if c.TopK == 0 {
@@ -99,7 +99,7 @@ func Detect(s *series.Series, cfg Config) ([]Candidate, error) {
 		meanPower += p
 	}
 	meanPower /= float64(len(power) - 1)
-	if meanPower == 0 {
+	if meanPower == 0 { //opvet:ignore floatcmp division guard; exact zero only from constant input
 		return nil, nil // constant series: no periodicity
 	}
 

@@ -21,7 +21,7 @@ import (
 func ZScore(values []float64) []float64 {
 	mean, sd := MeanStd(values)
 	out := make([]float64, len(values))
-	if sd == 0 {
+	if sd == 0 { //opvet:ignore floatcmp division guard; exact zero only from constant input
 		return out
 	}
 	for i, v := range values {

@@ -166,10 +166,13 @@ func (db *DB) writeSummary(i int, s *summary) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	rec := summaryRecord{Version: 1, Sigma: s.sigma, MaxPeriod: s.maxPeriod,
 		Length: s.length, Head: s.head, Tail: s.tail, F2: s.f2}
-	return gob.NewEncoder(f).Encode(rec)
+	if err := gob.NewEncoder(f).Encode(rec); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func (db *DB) loadSummary(i int) (*summary, error) {
@@ -177,7 +180,7 @@ func (db *DB) loadSummary(i int) (*summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; nothing to lose on close
 	var rec summaryRecord
 	if err := gob.NewDecoder(f).Decode(&rec); err != nil {
 		return nil, fmt.Errorf("store: corrupt summary %d: %v", i, err)
@@ -194,7 +197,7 @@ func (db *DB) rebuildSummary(i int) (*summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; nothing to lose on close
 	s, err := series.ReadBinary(f)
 	if err != nil {
 		return nil, fmt.Errorf("store: segment %d unreadable: %v", i, err)
@@ -233,7 +236,7 @@ func (db *DB) seal() error {
 	}
 	s := series.FromIndices(db.alpha, db.active)
 	if err := series.WriteBinary(f, s); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	if err := f.Close(); err != nil {
@@ -297,7 +300,7 @@ func (db *DB) ReadRange(fromSeg, toSeg int) (*series.Series, error) {
 			return nil, err
 		}
 		s, err := series.ReadBinary(f)
-		f.Close()
+		_ = f.Close() // read-only; nothing to lose on close
 		if err != nil {
 			return nil, fmt.Errorf("store: segment %d unreadable: %v", i, err)
 		}

@@ -76,7 +76,7 @@ func newRanking(n, minP, maxP int, distances []float64) *Ranking {
 	}
 	sort.Slice(order, func(i, j int) bool {
 		di, dj := distances[order[i]], distances[order[j]]
-		if di != dj {
+		if di != dj { //opvet:ignore floatcmp exact tie-break in sort comparator
 			return di < dj
 		}
 		return order[i] < order[j]

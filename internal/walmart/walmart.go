@@ -42,10 +42,10 @@ func (c Config) withDefaults() Config {
 	if c.Months == 0 {
 		c.Months = 15
 	}
-	if c.NoiseSD == 0 {
+	if c.NoiseSD == 0 { //opvet:ignore floatcmp zero means unset
 		c.NoiseSD = 0.15
 	}
-	if c.SpecialDayProb == 0 {
+	if c.SpecialDayProb == 0 { //opvet:ignore floatcmp zero means unset
 		c.SpecialDayProb = 0.03
 	}
 	if c.SpecialDayProb < 0 {

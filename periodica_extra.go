@@ -88,8 +88,11 @@ func (s *Series) WriteFile(path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return series.WriteBinary(f, s.inner)
+	if err := series.WriteBinary(f, s.inner); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // ReadSeriesFile loads a series stored by WriteFile.
@@ -98,7 +101,7 @@ func ReadSeriesFile(path string) (*Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; nothing to lose on close
 	inner, err := series.ReadBinary(f)
 	if err != nil {
 		return nil, err
