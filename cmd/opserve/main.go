@@ -5,28 +5,71 @@
 //	curl -s localhost:8723/healthz
 //	curl -s localhost:8723/v1/mine -d '{"symbols":"abcabbabcb","threshold":0.66}'
 //	curl -s localhost:8723/v1/candidates -d '{"values":[1,5,9,1,5,9],"levels":3,"threshold":1}'
+//	curl -s localhost:8723/metrics
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: /readyz starts
+// reporting 503 so load balancers stop routing, in-flight requests are
+// drained for up to -drain-timeout, and the process exits 0 on a clean
+// drain.
 package main
 
 import (
+	"context"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"periodica/internal/httpapi"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	addr := flag.String("addr", ":8723", "listen address")
+	maxConcurrency := flag.Int("max-concurrency", 0, "max simultaneous mining requests (0 = 2×GOMAXPROCS); excess requests are shed with 429")
+	requestTimeout := flag.Duration("request-timeout", httpapi.DefaultRequestTimeout, "per-request mining deadline (0 = default, negative = no deadline)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           httpapi.Handler(),
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	api := httpapi.New(httpapi.Config{
+		MaxConcurrency: *maxConcurrency,
+		RequestTimeout: *requestTimeout,
+		EnablePprof:    *pprof,
+		Logger:         logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "opserve: listen %s: %v\n", *addr, err)
+		return 1
+	}
+
+	hs := &http.Server{
+		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
 	}
-	log.Printf("periodica mining service listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logger.Info("periodica mining service listening", "addr", ln.Addr().String())
+	if err := api.Run(ctx, hs, ln, *drainTimeout); err != nil {
+		logger.Error("server error", "err", err)
+		return 1
+	}
+	logger.Info("shutdown complete")
+	return 0
 }

@@ -247,17 +247,32 @@ func LagMatchCountsParallel(s *series.Series, workers int) [][]int64 {
 // and long-series workloads keep every core busy. The counts are exact
 // integers and bit-identical for every worker count.
 func LagMatchCountsBatched(s *series.Series, workers int) [][]int64 {
+	out, _ := lagMatchCountsBatched(s, workers, nil)
+	return out
+}
+
+// LagMatchCountsBatchedCancel is LagMatchCountsBatched with cooperative
+// cancellation: cancel (e.g. ctx.Err) is polled before each pair transform
+// is claimed, and a non-nil return aborts the batch with that error and nil
+// counts. A transform already in flight runs to completion, so the
+// cancellation latency is bounded by one pair FFT, not the whole batch —
+// the difference matters for wide alphabets.
+func LagMatchCountsBatchedCancel(s *series.Series, workers int, cancel func() error) ([][]int64, error) {
+	return lagMatchCountsBatched(s, workers, cancel)
+}
+
+func lagMatchCountsBatched(s *series.Series, workers int, cancel func() error) ([][]int64, error) {
 	n, sigma := s.Len(), s.Alphabet().Size()
 	out := make([][]int64, sigma)
 	if sigma == 0 {
-		return out
+		return out, nil
 	}
 	flat := make([]int64, sigma*n)
 	for k := range out {
 		out[k] = flat[k*n : (k+1)*n : (k+1)*n]
 	}
 	if n == 0 {
-		return out
+		return out, nil
 	}
 	plan := fft.PlanFor(fft.NextPow2(2 * n))
 	pairs := (sigma + 1) / 2
@@ -272,6 +287,10 @@ func LagMatchCountsBatched(s *series.Series, workers int) [][]int64 {
 	// butterflies of each transform instead.
 	inner := workers / outer
 
+	var (
+		errMu     sync.Mutex
+		cancelErr error // first cancellation wins
+	)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < outer; w++ {
@@ -281,6 +300,16 @@ func LagMatchCountsBatched(s *series.Series, workers int) [][]int64 {
 			x1 := make([]float64, n)
 			x2 := make([]float64, n)
 			for k := range next {
+				if cancel != nil {
+					if err := cancel(); err != nil {
+						errMu.Lock()
+						if cancelErr == nil {
+							cancelErr = err
+						}
+						errMu.Unlock()
+						continue // drain the channel without transforming
+					}
+				}
 				s.IndicatorInto(k, x1)
 				if k+1 < sigma {
 					s.IndicatorInto(k+1, x2)
@@ -296,7 +325,10 @@ func LagMatchCountsBatched(s *series.Series, workers int) [][]int64 {
 	}
 	close(next)
 	wg.Wait()
-	return out
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
+	return out, nil
 }
 
 // LagMatchCountsNaive is the direct O(σ n²) form of LagMatchCounts, used to

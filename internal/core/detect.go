@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
 	"periodica/internal/conv"
 	"periodica/internal/series"
@@ -29,19 +29,34 @@ type CandidatePeriod struct {
 // confidences for a candidate are resolved on demand with Mine over a
 // restricted period range, or Confidencer.
 func DetectCandidates(s *series.Series, psi float64, maxPeriod int) ([]CandidatePeriod, error) {
+	return detectCandidates(context.Background(), s, psi, maxPeriod)
+}
+
+// detectCandidates is the shared implementation behind DetectCandidates and
+// DetectCandidatesContext; ctx is polled before the FFT pass and every 256
+// periods of the aggregate sweep.
+func detectCandidates(ctx context.Context, s *series.Series, psi float64, maxPeriod int) ([]CandidatePeriod, error) {
 	n := s.Len()
 	if psi <= 0 || psi > 1 {
-		return nil, fmt.Errorf("core: threshold ψ=%v outside (0,1]", psi)
+		return nil, invalidf("core: threshold ψ=%v outside (0,1]", psi)
 	}
 	if maxPeriod == 0 {
 		maxPeriod = n / 2
 	}
 	if maxPeriod < 1 || maxPeriod >= n {
-		return nil, fmt.Errorf("core: maxPeriod %d outside [1,%d)", maxPeriod, n)
+		return nil, invalidf("core: maxPeriod %d outside [1,%d)", maxPeriod, n)
 	}
-	lag := conv.LagMatchCountsBatched(s, 0)
+	lag, err := conv.LagMatchCountsBatchedCancel(s, 0, ctx.Err)
+	if err != nil {
+		return nil, err
+	}
 	var out []CandidatePeriod
 	for p := 1; p <= maxPeriod; p++ {
+		if p&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		minPairs := pairsAt(n, p, p-1)
 		if pairsAt(n, p, 0) < 1 {
 			continue
@@ -75,7 +90,7 @@ func BestConfidences(s *series.Series, maxPeriod int) ([]float64, error) {
 		maxPeriod = n / 2
 	}
 	if maxPeriod < 1 || maxPeriod >= n {
-		return nil, fmt.Errorf("core: maxPeriod %d outside [1,%d)", maxPeriod, n)
+		return nil, invalidf("core: maxPeriod %d outside [1,%d)", maxPeriod, n)
 	}
 	det := newDetector(s, EngineBitset)
 	out := make([]float64, maxPeriod+1)

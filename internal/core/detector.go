@@ -20,6 +20,13 @@ type detector struct {
 	match    *bitvec.Vector
 	counts   []int // phase-count scratch; only touched entries are non-zero
 	touched  []int // phases with non-zero counts, for output-sensitive reset
+
+	// cancel, when set, is polled inside the per-symbol detection loop (for
+	// MineContext this is ctx.Err); a non-nil return aborts detection with
+	// that error latched in err. Detected-so-far results are discarded by
+	// the caller.
+	cancel func() error
+	err    error
 }
 
 func newDetector(s *series.Series, eng Engine) *detector {
@@ -60,10 +67,24 @@ func (d *detector) sigma() int {
 	return d.ind.Sigma
 }
 
+// cancelled reports (and latches) a pending cancellation.
+func (d *detector) cancelled() bool {
+	if d.err != nil {
+		return true
+	}
+	if d.cancel != nil {
+		if err := d.cancel(); err != nil {
+			d.err = err
+			return true
+		}
+	}
+	return false
+}
+
 // detect finds all symbol periodicities at period p with confidence ≥ psi.
 func (d *detector) detect(p int, psi float64, emit func(SymbolPeriodicity)) {
 	n := d.n()
-	if p < 1 || p >= n {
+	if p < 1 || p >= n || d.err != nil {
 		return
 	}
 	if pairsAt(n, p, 0) < d.minPairs {
@@ -79,6 +100,9 @@ func (d *detector) detect(p int, psi float64, emit func(SymbolPeriodicity)) {
 
 // detectNaive scans the series once, tallying matches per (symbol, phase).
 func (d *detector) detectNaive(p int, psi float64, emit func(SymbolPeriodicity)) {
+	if d.cancelled() {
+		return
+	}
 	n, sigma := d.n(), d.sigma()
 	need := sigma * p
 	if cap(d.counts) < need {
@@ -113,6 +137,9 @@ func (d *detector) detectPruned(p int, psi float64, emit func(SymbolPeriodicity)
 		minPairs = d.minPairs
 	}
 	for k := 0; k < sigma; k++ {
+		if d.cancelled() {
+			return
+		}
 		var r int64
 		switch d.eng {
 		case EngineFFT:

@@ -75,7 +75,7 @@ type Options struct {
 
 func (o Options) withDefaults(n int) (Options, error) {
 	if o.Threshold <= 0 || o.Threshold > 1 {
-		return o, fmt.Errorf("core: threshold ψ=%v outside (0,1]", o.Threshold)
+		return o, invalidf("core: threshold ψ=%v outside (0,1]", o.Threshold)
 	}
 	if o.MinPeriod == 0 {
 		o.MinPeriod = 1
@@ -84,7 +84,7 @@ func (o Options) withDefaults(n int) (Options, error) {
 		o.MaxPeriod = n / 2
 	}
 	if o.MinPeriod < 1 || o.MaxPeriod > n || o.MinPeriod > o.MaxPeriod {
-		return o, fmt.Errorf("core: invalid period range [%d,%d] for n=%d", o.MinPeriod, o.MaxPeriod, n)
+		return o, invalidf("core: invalid period range [%d,%d] for n=%d", o.MinPeriod, o.MaxPeriod, n)
 	}
 	if o.MaxPatternPeriod == 0 {
 		o.MaxPatternPeriod = 128
@@ -96,7 +96,7 @@ func (o Options) withDefaults(n int) (Options, error) {
 		o.MinPairs = 1
 	}
 	if o.MinPairs < 1 {
-		return o, fmt.Errorf("core: MinPairs %d < 1", o.MinPairs)
+		return o, invalidf("core: MinPairs %d < 1", o.MinPairs)
 	}
 	return o, nil
 }
@@ -166,7 +166,7 @@ func Mine(s *series.Series, opt Options) (*Result, error) {
 	finishResult(res, periodSet)
 
 	if opt.MaxPatternPeriod >= 0 {
-		res.Patterns, res.PatternsTruncated = minePatterns(det, res.Periodicities, opt)
+		res.Patterns, res.PatternsTruncated, _ = minePatterns(det, res.Periodicities, opt, nil)
 	}
 	return res, nil
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -20,7 +19,7 @@ func ParallelBestConfidences(s *series.Series, maxPeriod, workers int) ([]float6
 		maxPeriod = n / 2
 	}
 	if maxPeriod < 1 || maxPeriod >= n {
-		return nil, fmt.Errorf("core: maxPeriod %d outside [1,%d)", maxPeriod, n)
+		return nil, invalidf("core: maxPeriod %d outside [1,%d)", maxPeriod, n)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -130,7 +129,7 @@ func MineParallel(s *series.Series, opt Options, workers int) (*Result, error) {
 	}
 	if opt.MaxPatternPeriod >= 0 {
 		det := newDetectorFromIndicators(ind, lag)
-		res.Patterns, res.PatternsTruncated = minePatterns(det, res.Periodicities, opt)
+		res.Patterns, res.PatternsTruncated, _ = minePatterns(det, res.Periodicities, opt, nil)
 	}
 	return res, nil
 }
@@ -141,13 +140,13 @@ func MineParallel(s *series.Series, opt Options, workers int) (*Result, error) {
 func ParallelDetectCandidates(s *series.Series, psi float64, maxPeriod, workers int) ([]CandidatePeriod, error) {
 	n := s.Len()
 	if psi <= 0 || psi > 1 {
-		return nil, fmt.Errorf("core: threshold ψ=%v outside (0,1]", psi)
+		return nil, invalidf("core: threshold ψ=%v outside (0,1]", psi)
 	}
 	if maxPeriod == 0 {
 		maxPeriod = n / 2
 	}
 	if maxPeriod < 1 || maxPeriod >= n {
-		return nil, fmt.Errorf("core: maxPeriod %d outside [1,%d)", maxPeriod, n)
+		return nil, invalidf("core: maxPeriod %d outside [1,%d)", maxPeriod, n)
 	}
 	lag := conv.LagMatchCountsBatched(s, workers)
 	var out []CandidatePeriod

@@ -82,7 +82,11 @@ type slot struct {
 // symbols and support ≥ ψ. Enumeration is depth-first with the Apriori bound:
 // the support of an extension never exceeds that of its prefix, so a prefix
 // below threshold prunes its whole subtree.
-func minePatterns(det *detector, pers []SymbolPeriodicity, opt Options) (out []Pattern, truncated bool) {
+//
+// cancel, when non-nil, is polled between occurrence-set builds and every
+// few thousand enumeration steps (for MineContext it is ctx.Err); a non-nil
+// return aborts the stage and is returned as err with no patterns.
+func minePatterns(det *detector, pers []SymbolPeriodicity, opt Options, cancel func() error) (out []Pattern, truncated bool, err error) {
 	byPeriod := map[int][]SymbolPeriodicity{}
 	for _, sp := range pers {
 		if sp.Period <= opt.MaxPatternPeriod {
@@ -106,6 +110,11 @@ func minePatterns(det *detector, pers []SymbolPeriodicity, opt Options) (out []P
 		}
 		slots := make([][]slot, p)
 		for _, sp := range group {
+			if cancel != nil {
+				if err := cancel(); err != nil {
+					return nil, false, err
+				}
+			}
 			slots[sp.Position] = append(slots[sp.Position],
 				slot{symbol: sp.Symbol, occ: det.occurrenceSet(sp.Symbol, p, sp.Position)})
 		}
@@ -115,8 +124,12 @@ func minePatterns(det *detector, pers []SymbolPeriodicity, opt Options) (out []P
 			total:  det.n() / p,
 			psi:    opt.Threshold,
 			max:    opt.MaxPatterns - len(out),
+			cancel: cancel,
 		}
 		e.walk(0, nil)
+		if e.err != nil {
+			return nil, false, e.err
+		}
 		out = append(out, e.found...)
 		if e.truncated {
 			truncated = true
@@ -132,7 +145,7 @@ func minePatterns(det *detector, pers []SymbolPeriodicity, opt Options) (out []P
 		}
 		return lessFixed(out[i].Fixed, out[j].Fixed)
 	})
-	return out, truncated
+	return out, truncated, nil
 }
 
 // lessFixed orders sparse patterns by their dense rendering: position by
@@ -208,13 +221,26 @@ type enumerator struct {
 	chosen    []FixedSymbol
 	found     []Pattern
 	truncated bool
+	cancel    func() error // optional cooperative-cancellation poll
+	steps     int
+	err       error
 }
 
 // walk extends the pattern at position l with cur = AND of the chosen
 // occurrence sets (nil while no symbol chosen yet).
 func (e *enumerator) walk(l int, cur *bitvec.Vector) {
-	if e.truncated {
+	if e.truncated || e.err != nil {
 		return
+	}
+	// The subtree under a node can be exponentially large, so the Apriori
+	// prune alone does not bound the time between cancellation polls; an
+	// explicit step counter does.
+	e.steps++
+	if e.cancel != nil && e.steps&1023 == 0 {
+		if err := e.cancel(); err != nil {
+			e.err = err
+			return
+		}
 	}
 	if cur != nil && float64(cur.Count()) < e.psi*float64(e.total) {
 		return

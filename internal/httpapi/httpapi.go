@@ -2,18 +2,131 @@
 // time-series database component would deploy this next to its storage
 // layer. Stateless by design — every request carries its series (symbols or
 // raw numeric values) and its mining parameters.
+//
+// The serving path is built for production traffic: every mine is driven by
+// the request context plus a configurable deadline (a disconnected client
+// stops consuming CPU), a semaphore admission controller sheds load with
+// 429 + Retry-After instead of queueing unboundedly, and an obs.Registry
+// records per-endpoint request counts, status classes, an in-flight gauge,
+// and mine-duration histograms served at /metrics. /healthz reports
+// liveness, /readyz flips to 503 during drain, and structured access logs
+// carry a request ID per request.
 package httpapi
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+	"time"
 
 	"periodica"
+	"periodica/internal/obs"
 )
 
-// MaxBodyBytes caps request bodies (64 MiB).
+// MaxBodyBytes is the default request-body cap (64 MiB).
 const MaxBodyBytes = 64 << 20
+
+// DefaultRequestTimeout bounds each mining request when Config.RequestTimeout
+// is zero.
+const DefaultRequestTimeout = 2 * time.Minute
+
+// StatusClientClosedRequest is the de-facto status (nginx's 499) recorded
+// when the client disconnected before the mine finished. The client never
+// sees it; it keeps logs and metrics honest about who ended the request.
+const StatusClientClosedRequest = 499
+
+// Config tunes a Server. The zero value serves with sane defaults.
+type Config struct {
+	// MaxConcurrency caps the number of simultaneously mining requests;
+	// excess requests are shed with 429 + Retry-After. 0 means twice
+	// GOMAXPROCS.
+	MaxConcurrency int
+	// RequestTimeout bounds each mining call via the request context;
+	// 0 means DefaultRequestTimeout, negative disables the deadline.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies; 0 means the MaxBodyBytes constant.
+	MaxBodyBytes int64
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Logger receives structured access and error logs; nil means
+	// slog.Default().
+	Logger *slog.Logger
+	// Metrics receives the serving metrics; nil means a fresh registry.
+	Metrics *obs.Registry
+}
+
+// Server is the mining service: an http.Handler plus the lifecycle state
+// (readiness, admission semaphore, metrics) behind it.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	sem     chan struct{}
+	ready   atomic.Bool
+	metrics *obs.Registry
+	log     *slog.Logger
+	reqSeq  atomic.Uint64 // request-ID fallback when crypto/rand fails
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrency == 0 {
+		cfg.MaxConcurrency = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = MaxBodyBytes
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, cfg.MaxConcurrency),
+		metrics: cfg.Metrics,
+		log:     cfg.Logger,
+	}
+	s.ready.Store(true)
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealth))
+	s.mux.HandleFunc("/readyz", s.instrument("/readyz", s.handleReady))
+	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	s.mux.HandleFunc("/v1/mine", s.instrument("/v1/mine", s.handleMine))
+	s.mux.HandleFunc("/v1/candidates", s.instrument("/v1/candidates", s.handleCandidates))
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler with default configuration.
+func Handler() http.Handler { return New(Config{}) }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// SetReady flips the /readyz answer; Run flips it to false when draining so
+// load balancers stop routing new work here while in-flight requests finish.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // MineRequest is the body of POST /v1/mine and POST /v1/candidates. Exactly
 // one of Symbols and Values must be set.
@@ -44,44 +157,186 @@ type CandidatesResponse struct {
 	Periods   []int   `json:"periods"`
 }
 
-// Handler returns the service's HTTP handler.
-func Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", handleHealth)
-	mux.HandleFunc("/v1/mine", handleMine)
-	mux.HandleFunc("/v1/candidates", handleCandidates)
-	return mux
+// statusRecorder captures the response status and size for logs and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
 }
 
-func handleHealth(w http.ResponseWriter, r *http.Request) {
+func (sr *statusRecorder) WriteHeader(status int) {
+	sr.status = status
+	sr.ResponseWriter.WriteHeader(status)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps a handler with the observability layer: request IDs,
+// in-flight gauge, per-endpoint counters and latency histograms, and one
+// structured access-log line per request.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.metrics.Endpoint(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = s.newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		s.metrics.InFlight().Inc()
+		defer s.metrics.InFlight().Dec()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(sr, r)
+		elapsed := time.Since(start)
+		ep.ObserveRequest(sr.status, elapsed)
+		s.log.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sr.status,
+			"bytes", sr.bytes,
+			"duration", elapsed,
+			"remote", r.RemoteAddr,
+		)
+	}
+}
+
+// newRequestID returns 16 hex chars of crypto randomness, falling back to a
+// process-local sequence number if the system entropy source fails.
+func (s *Server) newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("seq-%d", s.reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// allowReadOnly gates a handler to GET and HEAD, answering 405 otherwise.
+func allowReadOnly(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	w.Header().Set("Allow", "GET, HEAD")
+	writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "GET or HEAD required"})
+	return false
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !allowReadOnly(w, r) {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func handleMine(w http.ResponseWriter, r *http.Request) {
-	req, s, ok := decodeSeries(w, r)
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !allowReadOnly(w, r) {
+		return
+	}
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !allowReadOnly(w, r) {
+		return
+	}
+	s.metrics.Handler().ServeHTTP(w, r)
+}
+
+// admit reserves an admission slot, or sheds the request with 429. The
+// returned release must be called when mining finishes. Admission wraps only
+// the mining call, not the body read: a slow client trickling its upload
+// must not hold a mining slot.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests,
+			ErrorResponse{Error: "server is at its mining concurrency limit; retry later"})
+		return nil, false
+	}
+}
+
+// requestContext derives the mining context from the client's: it is
+// cancelled when the client disconnects and, unless disabled, bounded by
+// the configured per-request deadline.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout < 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+// writeMineError maps a mining failure to the status its cause deserves:
+// client disconnect → 499, deadline → 504, invalid input → 400, anything
+// else → 500 with the detail kept out of the response.
+func (s *Server) writeMineError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		writeJSON(w, StatusClientClosedRequest, ErrorResponse{Error: "client closed request"})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{
+			Error: fmt.Sprintf("mining exceeded the %v request deadline", s.cfg.RequestTimeout)})
+	case errors.Is(err, periodica.ErrInvalidInput):
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+	default:
+		s.log.Error("internal mining error", "path", r.URL.Path, "err", err)
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "internal error"})
+	}
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	req, series, ok := s.decodeSeries(w, r)
 	if !ok {
 		return
 	}
-	res, err := periodica.Mine(s, periodica.Options{
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	start := time.Now()
+	res, err := periodica.MineContext(ctx, series, periodica.Options{
 		Threshold: req.Threshold, MinPeriod: req.MinPeriod, MaxPeriod: req.MaxPeriod,
 		MaxPatternPeriod: req.MaxPatternPeriod, MaximalOnly: req.MaximalOnly,
 		MinPairs: req.MinPairs,
 	})
+	s.metrics.Endpoint("/v1/mine").ObserveMine(time.Since(start))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		s.writeMineError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
 }
 
-func handleCandidates(w http.ResponseWriter, r *http.Request) {
-	req, s, ok := decodeSeries(w, r)
+func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
+	req, series, ok := s.decodeSeries(w, r)
 	if !ok {
 		return
 	}
-	periods, err := periodica.CandidatePeriods(s, req.Threshold, req.MaxPeriod)
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	start := time.Now()
+	periods, err := periodica.CandidatePeriodsContext(ctx, series, req.Threshold, req.MaxPeriod)
+	s.metrics.Endpoint("/v1/candidates").ObserveMine(time.Since(start))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		s.writeMineError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, CandidatesResponse{Threshold: req.Threshold, Periods: periods})
@@ -89,33 +344,48 @@ func handleCandidates(w http.ResponseWriter, r *http.Request) {
 
 // decodeSeries parses the request and builds the series; on failure it has
 // already written the error response.
-func decodeSeries(w http.ResponseWriter, r *http.Request) (MineRequest, *periodica.Series, bool) {
+func (s *Server) decodeSeries(w http.ResponseWriter, r *http.Request) (MineRequest, *periodica.Series, bool) {
 	var req MineRequest
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
 		return req, nil, false
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, ErrorResponse{
+				Error: fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit)})
+			return req, nil, false
+		}
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
 		return req, nil, false
 	}
 	var (
-		s   *periodica.Series
-		err error
+		series *periodica.Series
+		err    error
 	)
 	switch {
 	case req.Symbols != "" && req.Values != nil:
 		err = fmt.Errorf("set either symbols or values, not both")
 	case req.Symbols != "":
-		s, err = periodica.NewSeriesFromString(req.Symbols)
+		series, err = periodica.NewSeriesFromString(req.Symbols)
 	case req.Values != nil:
+		if len(req.Values) == 0 {
+			err = fmt.Errorf("values must not be empty")
+			break
+		}
+		if req.Levels < 0 {
+			err = fmt.Errorf("levels must be non-negative, got %d", req.Levels)
+			break
+		}
 		levels := req.Levels
 		if levels == 0 {
 			levels = 5
 		}
-		s, err = periodica.DiscretizeEqualWidth(req.Values, levels)
+		series, err = periodica.DiscretizeEqualWidth(req.Values, levels)
 	default:
 		err = fmt.Errorf("symbols or values required")
 	}
@@ -123,7 +393,7 @@ func decodeSeries(w http.ResponseWriter, r *http.Request) (MineRequest, *periodi
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return req, nil, false
 	}
-	return req, s, true
+	return req, series, true
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

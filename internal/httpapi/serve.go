@@ -1,0 +1,48 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Run serves hs on ln until ctx is cancelled, then drains gracefully: the
+// /readyz endpoint flips to 503 so load balancers stop routing here, new
+// connections are refused, and in-flight requests get up to drain to finish
+// before the server is torn down. hs.Handler defaults to the Server itself.
+// A clean drain — including the http.ErrServerClosed that Serve returns
+// after Shutdown — yields a nil error.
+func (s *Server) Run(ctx context.Context, hs *http.Server, ln net.Listener, drain time.Duration) error {
+	if hs.Handler == nil {
+		hs.Handler = s
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener failed before any shutdown was requested.
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+
+	s.SetReady(false)
+	s.log.Info("draining", "timeout", drain, "in_flight", s.metrics.InFlight().Value())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := hs.Shutdown(shutdownCtx)
+	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	if err != nil {
+		s.log.Error("shutdown incomplete", "err", err)
+		return err
+	}
+	s.log.Info("drained")
+	return nil
+}

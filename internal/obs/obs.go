@@ -1,0 +1,237 @@
+// Package obs provides the stdlib-only observability layer of the serving
+// path: atomic counters and gauges, fixed-bucket latency histograms, and a
+// registry that renders everything in the Prometheus plaintext exposition
+// format. No third-party client library is required — the types here are a
+// few atomics wide and safe for concurrent use on the hot path.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter, safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 to keep the counter monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down, safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// defaultBuckets are the histogram upper bounds in seconds, spanning the
+// sub-millisecond decode path through multi-second mines.
+var defaultBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Histogram is a fixed-bucket duration histogram, safe for concurrent use.
+// Observations land in the first bucket whose upper bound (in seconds) is
+// not exceeded; an implicit +Inf bucket catches the rest. The bounds are
+// immutable after construction, so observation is a bucket search plus three
+// atomic adds — no locks on the hot path.
+type Histogram struct {
+	bounds   []float64 // ascending upper bounds, seconds
+	counts   []atomic.Int64
+	sumNanos atomic.Int64
+	count    atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds in
+// seconds; with no bounds the default request-latency buckets are used.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = defaultBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	secs := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, secs)
+	h.counts[i].Add(1)
+	h.sumNanos.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNanos.Load()) }
+
+// renderBuckets writes the cumulative bucket counts, sum, and count under
+// the given metric name and label set (labels may be empty).
+func (h *Histogram) renderBuckets(b *strings.Builder, name, labels string) {
+	sep := ","
+	if labels == "" {
+		sep = ""
+	}
+	var cum int64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		b.WriteString(fmt.Sprintf("%s_bucket{%s%sle=%q} %d\n", name, labels, sep,
+			strconv.FormatFloat(ub, 'g', -1, 64), cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	b.WriteString(fmt.Sprintf("%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum))
+	if labels == "" {
+		b.WriteString(fmt.Sprintf("%s_sum %s\n", name, formatSeconds(h.Sum())))
+		b.WriteString(fmt.Sprintf("%s_count %d\n", name, h.count.Load()))
+		return
+	}
+	b.WriteString(fmt.Sprintf("%s_sum{%s} %s\n", name, labels, formatSeconds(h.Sum())))
+	b.WriteString(fmt.Sprintf("%s_count{%s} %d\n", name, labels, h.count.Load()))
+}
+
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// statusClasses label the response-status families tracked per endpoint.
+var statusClasses = [...]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// Endpoint aggregates the serving metrics of one route: request counts by
+// status class, a request-latency histogram, and a mine-duration histogram
+// (observed only around the actual mining call, so it excludes decode and
+// encode time).
+type Endpoint struct {
+	name     string
+	classes  [len(statusClasses)]Counter
+	requests *Histogram
+	mine     *Histogram
+}
+
+// ObserveRequest records one completed request with its response status.
+func (e *Endpoint) ObserveRequest(status int, d time.Duration) {
+	class := status/100 - 1
+	if class < 0 || class >= len(statusClasses) {
+		class = 4 // treat out-of-range codes as server errors
+	}
+	e.classes[class].Inc()
+	e.requests.Observe(d)
+}
+
+// ObserveMine records the duration of one mining call.
+func (e *Endpoint) ObserveMine(d time.Duration) { e.mine.Observe(d) }
+
+// Requests returns the request count in the given status class ("2xx", …).
+func (e *Endpoint) Requests(class string) int64 {
+	for i, c := range statusClasses {
+		if c == class {
+			return e.classes[i].Value()
+		}
+	}
+	return 0
+}
+
+// MineCount returns the number of observed mining calls.
+func (e *Endpoint) MineCount() int64 { return e.mine.Count() }
+
+// Registry holds the metrics of one server instance. The zero value is not
+// usable; call NewRegistry. Endpoint lookup takes a mutex, so handlers
+// serving hot routes may capture their *Endpoint once up front — though the
+// lock is uncontended enough that per-request lookup is also fine.
+type Registry struct {
+	mu        sync.Mutex
+	endpoints map[string]*Endpoint
+	inFlight  Gauge
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{endpoints: make(map[string]*Endpoint)}
+}
+
+// Endpoint returns (creating on first use) the metrics of the named route.
+func (r *Registry) Endpoint(name string) *Endpoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.endpoints[name]
+	if !ok {
+		e = &Endpoint{name: name, requests: NewHistogram(), mine: NewHistogram()}
+		r.endpoints[name] = e
+	}
+	return e
+}
+
+// InFlight returns the gauge of requests currently being served.
+func (r *Registry) InFlight() *Gauge { return &r.inFlight }
+
+// RenderText renders every metric in the Prometheus plaintext exposition
+// format, endpoints in sorted order.
+func (r *Registry) RenderText() string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.endpoints))
+	for name := range r.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	eps := make([]*Endpoint, 0, len(names))
+	for _, name := range names {
+		eps = append(eps, r.endpoints[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	b.WriteString("# TYPE periodica_http_in_flight gauge\n")
+	b.WriteString(fmt.Sprintf("periodica_http_in_flight %d\n", r.inFlight.Value()))
+	b.WriteString("# TYPE periodica_http_requests_total counter\n")
+	for _, e := range eps {
+		for i, class := range statusClasses {
+			if n := e.classes[i].Value(); n > 0 {
+				b.WriteString(fmt.Sprintf("periodica_http_requests_total{endpoint=%q,class=%q} %d\n",
+					e.name, class, n))
+			}
+		}
+	}
+	b.WriteString("# TYPE periodica_http_request_duration_seconds histogram\n")
+	for _, e := range eps {
+		e.requests.renderBuckets(&b, "periodica_http_request_duration_seconds",
+			fmt.Sprintf("endpoint=%q", e.name))
+	}
+	b.WriteString("# TYPE periodica_mine_duration_seconds histogram\n")
+	for _, e := range eps {
+		if e.mine.Count() > 0 {
+			e.mine.renderBuckets(&b, "periodica_mine_duration_seconds",
+				fmt.Sprintf("endpoint=%q", e.name))
+		}
+	}
+	return b.String()
+}
+
+// Handler serves the registry as plaintext; method gating is the caller's
+// concern (the httpapi server restricts it to GET/HEAD).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		text := r.RenderText()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = io.WriteString(w, text)
+	})
+}

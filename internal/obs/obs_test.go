@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %d, want 1", g.Value())
+	}
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Fatalf("gauge = %d, want 42", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0.01, 0.1, 1)
+	h.Observe(5 * time.Millisecond)   // ≤ 0.01
+	h.Observe(50 * time.Millisecond)  // ≤ 0.1
+	h.Observe(500 * time.Millisecond) // ≤ 1
+	h.Observe(5 * time.Second)        // +Inf
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	wantCounts := []int64{1, 1, 1, 1}
+	for i, want := range wantCounts {
+		if got := h.counts[i].Load(); got != want {
+			t.Errorf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	var b strings.Builder
+	h.renderBuckets(&b, "m", `endpoint="/x"`)
+	text := b.String()
+	for _, line := range []string{
+		`m_bucket{endpoint="/x",le="0.01"} 1`,
+		`m_bucket{endpoint="/x",le="0.1"} 2`,
+		`m_bucket{endpoint="/x",le="1"} 3`,
+		`m_bucket{endpoint="/x",le="+Inf"} 4`,
+		`m_count{endpoint="/x"} 4`,
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("rendering missing %q:\n%s", line, text)
+		}
+	}
+}
+
+func TestHistogramBoundaryLandsInBucket(t *testing.T) {
+	h := NewHistogram(0.01, 0.1)
+	h.Observe(10 * time.Millisecond) // exactly the first upper bound
+	if got := h.counts[0].Load(); got != 1 {
+		t.Fatalf("boundary observation in bucket 0 = %d, want 1", got)
+	}
+}
+
+func TestEndpointStatusClasses(t *testing.T) {
+	r := NewRegistry()
+	e := r.Endpoint("/v1/mine")
+	e.ObserveRequest(200, time.Millisecond)
+	e.ObserveRequest(204, time.Millisecond)
+	e.ObserveRequest(400, time.Millisecond)
+	e.ObserveRequest(499, time.Millisecond)
+	e.ObserveRequest(504, time.Millisecond)
+	e.ObserveRequest(777, time.Millisecond) // out of range → 5xx
+	if got := e.Requests("2xx"); got != 2 {
+		t.Errorf("2xx = %d, want 2", got)
+	}
+	if got := e.Requests("4xx"); got != 2 {
+		t.Errorf("4xx = %d, want 2", got)
+	}
+	if got := e.Requests("5xx"); got != 2 {
+		t.Errorf("5xx = %d, want 2", got)
+	}
+}
+
+func TestRegistryRenderText(t *testing.T) {
+	r := NewRegistry()
+	r.InFlight().Inc()
+	e := r.Endpoint("/v1/mine")
+	e.ObserveRequest(200, 3*time.Millisecond)
+	e.ObserveMine(2 * time.Millisecond)
+	r.Endpoint("/healthz").ObserveRequest(200, time.Microsecond)
+
+	text := r.RenderText()
+	for _, line := range []string{
+		"periodica_http_in_flight 1",
+		`periodica_http_requests_total{endpoint="/healthz",class="2xx"} 1`,
+		`periodica_http_requests_total{endpoint="/v1/mine",class="2xx"} 1`,
+		`periodica_http_request_duration_seconds_count{endpoint="/v1/mine"} 1`,
+		`periodica_mine_duration_seconds_count{endpoint="/v1/mine"} 1`,
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("render missing %q:\n%s", line, text)
+		}
+	}
+	// /healthz never mined, so it must not emit a mine histogram.
+	if strings.Contains(text, `periodica_mine_duration_seconds_count{endpoint="/healthz"}`) {
+		t.Error("healthz should have no mine histogram")
+	}
+	// Endpoints render in sorted order.
+	if strings.Index(text, `endpoint="/healthz"`) > strings.Index(text, `endpoint="/v1/mine"`) {
+		t.Error("endpoints not sorted")
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Endpoint("/v1/mine").ObserveRequest(200, time.Millisecond)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "periodica_http_requests_total") {
+		t.Fatalf("body missing requests_total:\n%s", rec.Body.String())
+	}
+}
+
+// TestConcurrentObservation exercises the atomics under the race detector.
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.InFlight().Inc()
+				e := r.Endpoint("/v1/mine")
+				e.ObserveRequest(200, time.Duration(i)*time.Microsecond)
+				e.ObserveMine(time.Duration(i) * time.Microsecond)
+				r.InFlight().Dec()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = r.RenderText()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Endpoint("/v1/mine").Requests("2xx"); got != 8000 {
+		t.Fatalf("2xx = %d, want 8000", got)
+	}
+	if got := r.InFlight().Value(); got != 0 {
+		t.Fatalf("in-flight = %d, want 0", got)
+	}
+}

@@ -23,9 +23,11 @@
 // with Incremental (which also merges adjacent segments), and over a sliding
 // window with Monitor. CandidatePeriods runs only the O(σ n log n) detection
 // phase — also available over on-disk series (CandidatePeriodsFile, via an
-// out-of-core FFT) and in parallel (CandidatePeriodsParallel, MineParallel,
-// MineContext). Significant separates genuine structure from the
-// confident-looking flukes the paper's Definition 1 admits at large periods.
+// out-of-core FFT) and in parallel (CandidatePeriodsParallel, MineParallel).
+// Long-running mines accept a context for cancellation and deadlines
+// (MineContext, CandidatePeriodsContext). Significant separates genuine
+// structure from the confident-looking flukes the paper's Definition 1
+// admits at large periods.
 package periodica
 
 import (

@@ -211,8 +211,16 @@ func Significant(s *Series, res *Result, alpha float64, bonferroni bool) ([]Scor
 	return out, nil
 }
 
-// MineContext is Mine with cooperative cancellation: a cancelled or
-// timed-out context aborts the mine promptly with the context's error.
+// ErrInvalidInput marks mining errors caused by invalid caller input (a
+// threshold outside (0,1], an impossible period range, …) as opposed to
+// internal or cancellation failures. Services front-ending the miner match
+// it with errors.Is to map bad input to a 4xx rather than a 5xx.
+var ErrInvalidInput = core.ErrInvalidInput
+
+// MineContext is Mine with cooperative cancellation: the context is polled
+// at every candidate period, inside the per-symbol detection loop, and
+// throughout pattern enumeration, so a cancelled or timed-out context aborts
+// the mine promptly with the context's error.
 func MineContext(ctx context.Context, s *Series, opt Options) (*Result, error) {
 	res, err := core.MineContext(ctx, s.inner, opt.internal())
 	if err != nil {
@@ -222,6 +230,21 @@ func MineContext(ctx context.Context, s *Series, opt Options) (*Result, error) {
 		res.Patterns = core.FilterMaximal(res.Patterns)
 	}
 	return convertResult(s, res), nil
+}
+
+// CandidatePeriodsContext is CandidatePeriods with cooperative cancellation:
+// a cancelled or timed-out context aborts the detection sweep promptly with
+// the context's error.
+func CandidatePeriodsContext(ctx context.Context, s *Series, threshold float64, maxPeriod int) ([]int, error) {
+	cands, err := core.DetectCandidatesContext(ctx, s.inner, threshold, maxPeriod)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.Period
+	}
+	return out, nil
 }
 
 // MineParallel is Mine with the per-period work spread over the given

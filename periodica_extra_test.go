@@ -2,6 +2,7 @@ package periodica_test
 
 import (
 	"context"
+	"errors"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -251,6 +252,47 @@ func TestMineContextPublic(t *testing.T) {
 	cancel()
 	if _, err := periodica.MineContext(ctx, s, periodica.Options{Threshold: 0.9}); err == nil {
 		t.Fatal("cancelled context: want error")
+	}
+}
+
+func TestCandidatePeriodsContextPublic(t *testing.T) {
+	s, err := periodica.NewSeriesFromString(strings.Repeat("abcd", 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := periodica.CandidatePeriods(s, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := periodica.CandidatePeriodsContext(context.Background(), s, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("CandidatePeriodsContext = %v, want %v", got, want)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := periodica.CandidatePeriodsContext(ctx, s, 1, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestErrInvalidInputPublic(t *testing.T) {
+	s, err := periodica.NewSeriesFromString(strings.Repeat("ab", 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := periodica.Mine(s, periodica.Options{Threshold: 0}); !errors.Is(err, periodica.ErrInvalidInput) {
+		t.Fatalf("ψ=0: err = %v, want ErrInvalidInput", err)
+	}
+	if _, err := periodica.CandidatePeriods(s, 0.5, 1000); !errors.Is(err, periodica.ErrInvalidInput) {
+		t.Fatalf("bad maxPeriod: err = %v, want ErrInvalidInput", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := periodica.MineContext(ctx, s, periodica.Options{Threshold: 0.5}); errors.Is(err, periodica.ErrInvalidInput) {
+		t.Fatal("cancellation must not classify as invalid input")
 	}
 }
 
