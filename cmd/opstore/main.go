@@ -7,6 +7,8 @@
 //	opgen -kind walmart | opstore -dir ./events append
 //	opstore -dir ./events info
 //	opstore -dir ./events query -threshold 0.8 -from 0 -to 3 -top 20
+//	opstore -dir ./events verify
+//	opstore -dir ./events repair
 package main
 
 import (
@@ -27,7 +29,7 @@ func main() {
 	dir := flag.String("dir", "", "store directory (required)")
 	flag.Parse()
 	if *dir == "" || flag.NArg() < 1 {
-		fatal(fmt.Errorf("usage: opstore -dir <path> {init|append|info|query} [flags]"))
+		fatal(fmt.Errorf("usage: opstore -dir <path> {init|append|info|query|mine|verify|repair} [flags]"))
 	}
 	var err error
 	switch cmd := flag.Arg(0); cmd {
@@ -41,8 +43,12 @@ func main() {
 		err = runQuery(*dir, flag.Args()[1:])
 	case "mine":
 		err = runMine(*dir, flag.Args()[1:])
+	case "verify":
+		err = runVerify(*dir, os.Stdout)
+	case "repair":
+		err = runRepair(*dir, os.Stdout)
 	default:
-		err = fmt.Errorf("unknown command %q (want init, append, info, query, mine)", cmd)
+		err = fmt.Errorf("unknown command %q (want init, append, info, query, mine, verify, repair)", cmd)
 	}
 	if err != nil {
 		fatal(err)
@@ -97,9 +103,9 @@ func runAppend(dir string, args []string) error {
 		if unicode.IsSpace(ch) {
 			continue
 		}
-		k := int(ch - 'a')
-		if k < 0 || k >= db.Sigma() {
-			return fmt.Errorf("symbol %q outside store alphabet a..%c", ch, 'a'+db.Sigma()-1)
+		k, err := parseSymbol(ch, db.Sigma())
+		if err != nil {
+			return fmt.Errorf("input symbol %d: %w", appended+1, err)
 		}
 		if err := db.Append(k); err != nil {
 			return err
@@ -204,6 +210,59 @@ func runMine(dir string, args []string) error {
 		fmt.Printf("  p=%-5d %-40s support %.1f%%\n", pt.Period, pt.Render(alpha), pt.Support*100)
 	}
 	return nil
+}
+
+// parseSymbol maps one input rune onto the store's alphabet a..a+σ-1,
+// rejecting anything else — including non-letter runes and letters past the
+// configured alphabet — with an error naming the accepted range.
+func parseSymbol(ch rune, sigma int) (int, error) {
+	last := rune('a' + sigma - 1)
+	if ch < 'a' || ch > 'z' {
+		return 0, fmt.Errorf("symbol %q is not a lowercase letter; the store accepts a..%c (σ=%d)", ch, last, sigma)
+	}
+	k := int(ch - 'a')
+	if k >= sigma {
+		return 0, fmt.Errorf("symbol %q is outside the store alphabet a..%c (σ=%d)", ch, last, sigma)
+	}
+	return k, nil
+}
+
+func runVerify(dir string, w io.Writer) error {
+	rep, err := store.Verify(dir)
+	if err != nil {
+		return err
+	}
+	printReport(w, rep)
+	if !rep.Clean() {
+		return fmt.Errorf("%d problem(s) found; run `opstore -dir %s repair` to recover", len(rep.Problems), dir)
+	}
+	_, _ = fmt.Fprintln(w, "store is clean") // CLI output; write errors are not actionable
+	return nil
+}
+
+func runRepair(dir string, w io.Writer) error {
+	rep, err := store.Repair(dir)
+	if err != nil {
+		return err
+	}
+	for _, a := range rep.Actions {
+		_, _ = fmt.Fprintln(w, "repaired:", a) // CLI output; write errors are not actionable
+	}
+	if len(rep.Actions) == 0 {
+		_, _ = fmt.Fprintln(w, "nothing to repair") // CLI output; write errors are not actionable
+	}
+	printReport(w, rep)
+	if !rep.Clean() {
+		return fmt.Errorf("%d problem(s) remain after repair", len(rep.Problems))
+	}
+	return nil
+}
+
+func printReport(w io.Writer, rep *store.Report) {
+	_, _ = fmt.Fprintf(w, "store %s: %d healthy segment(s), %d symbol(s)\n", rep.Dir, rep.Segments, rep.Symbols) // CLI output; write errors are not actionable
+	for _, p := range rep.Problems {
+		_, _ = fmt.Fprintln(w, "problem:", p.String()) // CLI output; write errors are not actionable
+	}
 }
 
 func alphabetLetters(sigma int) *alphabet.Alphabet { return alphabet.Letters(sigma) }

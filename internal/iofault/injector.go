@@ -1,0 +1,252 @@
+package iofault
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// Errors returned by injected faults. ErrInjected models a transient I/O
+// error (EIO) on a single operation; ErrCrashed models a process or machine
+// crash — the faulted operation and every later mutation fail, freezing the
+// on-disk state at the crash point.
+var (
+	ErrInjected = errors.New("iofault: injected I/O error")
+	ErrCrashed  = errors.New("iofault: crashed — all further writes halted")
+)
+
+// Mode selects what happens at the injection point.
+type Mode int
+
+const (
+	// ModeCount injects nothing; the injector only counts write operations,
+	// which is how tests enumerate the crash points of a workload.
+	ModeCount Mode = iota
+	// ModeEIO fails the Nth write operation with ErrInjected, once; the
+	// operation performs no work and later operations proceed normally.
+	ModeEIO
+	// ModeCrash fails the Nth and every subsequent write operation with
+	// ErrCrashed; the faulted operation performs no work.
+	ModeCrash
+	// ModeTorn performs a seeded short (torn) write at the Nth operation if
+	// it is a data write — a prefix of the buffer reaches the file — and then
+	// behaves like ModeCrash. Non-write operations at the fault point behave
+	// exactly like ModeCrash.
+	ModeTorn
+)
+
+// Injector wraps a base FS and deterministically faults its Nth write
+// operation. Write operations — the countable crash points — are: file
+// creation (OpenFile with O_CREATE or O_TRUNC, CreateTemp), Write, WriteAt,
+// Truncate, Sync, Rename, Remove, MkdirAll, and SyncDir. Reads, plain opens,
+// stats, and closes are passed through uncounted.
+//
+// The injector is deterministic: the same base state, workload, mode, fault
+// index, and seed always produce the same faulted state, so a test can first
+// run a workload under ModeCount to learn its operation count N and then
+// sweep every fault index in [1, N].
+type Injector struct {
+	base   FS
+	mode   Mode
+	failAt int64 // 1-based write-op index to fault; 0 never fires
+	seed   uint64
+
+	mu      sync.Mutex
+	ops     int64
+	crashed bool
+	fired   bool
+}
+
+// NewInjector wraps base, faulting write operation number failAt (1-based)
+// according to mode. The seed picks torn-write prefix lengths.
+func NewInjector(base FS, mode Mode, failAt int64, seed int64) *Injector {
+	return &Injector{base: base, mode: mode, failAt: failAt, seed: uint64(seed)*2862933555777941757 + 3037000493}
+}
+
+// Ops returns the number of write operations observed so far.
+func (in *Injector) Ops() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Fired reports whether the fault point was reached.
+func (in *Injector) Fired() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Crashed reports whether the injector is in the post-crash state (all
+// mutations failing).
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// step accounts one non-data-write mutation and returns the error to inject,
+// if any.
+func (in *Injector) step() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	in.ops++
+	if in.failAt == 0 || in.ops != in.failAt {
+		return nil
+	}
+	in.fired = true
+	switch in.mode {
+	case ModeEIO:
+		return ErrInjected
+	case ModeCrash, ModeTorn:
+		in.crashed = true
+		return ErrCrashed
+	}
+	return nil
+}
+
+// stepWrite accounts one data write of n bytes. It returns how many bytes to
+// actually write (n when healthy, a strict prefix for a torn write) and the
+// error to inject.
+func (in *Injector) stepWrite(n int) (int, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return 0, ErrCrashed
+	}
+	in.ops++
+	if in.failAt == 0 || in.ops != in.failAt {
+		return n, nil
+	}
+	in.fired = true
+	switch in.mode {
+	case ModeEIO:
+		return 0, ErrInjected
+	case ModeCrash:
+		in.crashed = true
+		return 0, ErrCrashed
+	case ModeTorn:
+		in.crashed = true
+		// Deterministic prefix in [0, n): xorshift over the seed and index.
+		x := in.seed ^ uint64(in.ops)*0x9e3779b97f4a7c15
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		if n == 0 {
+			return 0, ErrCrashed
+		}
+		return int(x % uint64(n)), ErrCrashed
+	}
+	return n, nil
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if flag&(os.O_CREATE|os.O_TRUNC) != 0 {
+		if err := in.step(); err != nil {
+			return nil, err
+		}
+	}
+	f, err := in.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, in: in}, nil
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if err := in.step(); err != nil {
+		return nil, err
+	}
+	f, err := in.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, in: in}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.step(); err != nil {
+		return err
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if err := in.step(); err != nil {
+		return err
+	}
+	return in.base.Remove(name)
+}
+
+func (in *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	if err := in.step(); err != nil {
+		return err
+	}
+	return in.base.MkdirAll(path, perm)
+}
+
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) { return in.base.ReadDir(name) }
+func (in *Injector) Stat(name string) (fs.FileInfo, error)      { return in.base.Stat(name) }
+
+func (in *Injector) SyncDir(name string) error {
+	if err := in.step(); err != nil {
+		return err
+	}
+	return in.base.SyncDir(name)
+}
+
+// faultFile routes a file's mutating operations through the injector.
+type faultFile struct {
+	File
+	in *Injector
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	allow, ierr := f.in.stepWrite(len(p))
+	written := 0
+	if allow > 0 {
+		var err error
+		written, err = f.File.Write(p[:allow])
+		if ierr == nil && err != nil {
+			return written, err
+		}
+	}
+	if ierr != nil {
+		return written, ierr
+	}
+	return written, nil
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	allow, ierr := f.in.stepWrite(len(p))
+	written := 0
+	if allow > 0 {
+		var err error
+		written, err = f.File.WriteAt(p[:allow], off)
+		if ierr == nil && err != nil {
+			return written, err
+		}
+	}
+	if ierr != nil {
+		return written, ierr
+	}
+	return written, nil
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if err := f.in.step(); err != nil {
+		return err
+	}
+	return f.File.Truncate(size)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.in.step(); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}

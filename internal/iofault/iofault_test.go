@@ -1,0 +1,173 @@
+package iofault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeWorkload performs a fixed sequence of mutations and returns the first
+// error. It models a write-temp → sync → rename → dir-sync commit.
+func writeWorkload(fsys FS, dir string) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := fsys.CreateTemp(dir, "w-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if _, err := f.WriteAt([]byte("HELLO"), 0); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(f.Name(), filepath.Join(dir, "final")); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+func TestOSPassthrough(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sub")
+	if err := writeWorkload(OS(), dir); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ReadFile(OS(), filepath.Join(dir, "final"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "HELLO world" {
+		t.Fatalf("final content %q", raw)
+	}
+}
+
+func TestInjectorCountsDeterministically(t *testing.T) {
+	counts := make([]int64, 3)
+	for i := range counts {
+		in := NewInjector(OS(), ModeCount, 0, 1)
+		if err := writeWorkload(in, filepath.Join(t.TempDir(), "sub")); err != nil {
+			t.Fatal(err)
+		}
+		counts[i] = in.Ops()
+	}
+	// mkdir, create, write, writeat, sync, rename, syncdir = 7 mutations.
+	if counts[0] != 7 {
+		t.Fatalf("ops = %d, want 7", counts[0])
+	}
+	if counts[1] != counts[0] || counts[2] != counts[0] {
+		t.Fatalf("op counts unstable: %v", counts)
+	}
+}
+
+func TestInjectorEIOFailsOnceThenRecovers(t *testing.T) {
+	in := NewInjector(OS(), ModeEIO, 3, 1)
+	dir := filepath.Join(t.TempDir(), "sub")
+	err := writeWorkload(in, dir)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !in.Fired() {
+		t.Fatal("fault point not reached")
+	}
+	// A transient error does not crash the layer: a retry succeeds.
+	if err := writeWorkload(in, dir); err != nil {
+		t.Fatalf("retry after EIO: %v", err)
+	}
+}
+
+func TestInjectorCrashHaltsAllWrites(t *testing.T) {
+	for failAt := int64(1); failAt <= 7; failAt++ {
+		in := NewInjector(OS(), ModeCrash, failAt, 1)
+		dir := filepath.Join(t.TempDir(), "sub")
+		err := writeWorkload(in, dir)
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("failAt=%d: err = %v, want ErrCrashed", failAt, err)
+		}
+		if !in.Crashed() {
+			t.Fatalf("failAt=%d: not in crashed state", failAt)
+		}
+		// Every further mutation fails; the frozen state is inspectable
+		// through reads only.
+		if err := writeWorkload(in, dir); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("failAt=%d: post-crash write = %v, want ErrCrashed", failAt, err)
+		}
+		if failAt < 6 {
+			// Crash before the rename: the final file must not exist.
+			if _, err := os.Stat(filepath.Join(dir, "final")); err == nil {
+				t.Fatalf("failAt=%d: final file exists before commit point", failAt)
+			}
+		}
+	}
+}
+
+func TestInjectorTornWriteLeavesPrefix(t *testing.T) {
+	// Fault the first Write (op 3: mkdir, create, write).
+	in := NewInjector(OS(), ModeTorn, 3, 42)
+	dir := filepath.Join(t.TempDir(), "sub")
+	if err := writeWorkload(in, dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir holds %d entries, want the torn temp file", len(entries))
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) >= len("hello world") {
+		t.Fatalf("torn write wrote %d bytes, want a strict prefix", len(raw))
+	}
+	if string(raw) != "hello world"[:len(raw)] {
+		t.Fatalf("torn bytes %q are not a prefix", raw)
+	}
+	// Determinism: the same seed tears at the same length.
+	in2 := NewInjector(OS(), ModeTorn, 3, 42)
+	dir2 := filepath.Join(t.TempDir(), "sub")
+	if err := writeWorkload(in2, dir2); !errors.Is(err, ErrCrashed) {
+		t.Fatal("second run did not crash")
+	}
+	entries2, err := os.ReadDir(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := os.ReadFile(filepath.Join(dir2, entries2[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw2) != string(raw) {
+		t.Fatalf("torn write not deterministic: %q vs %q", raw, raw2)
+	}
+}
+
+func TestInjectorReadsSurviveCrash(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a"), []byte("abc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(OS(), ModeCrash, 1, 1)
+	if err := in.Remove(filepath.Join(dir, "a")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("remove = %v, want ErrCrashed", err)
+	}
+	raw, err := ReadFile(in, filepath.Join(dir, "a"))
+	if err != nil || string(raw) != "abc" {
+		t.Fatalf("post-crash read = %q, %v", raw, err)
+	}
+	if _, err := in.Stat(filepath.Join(dir, "a")); err != nil {
+		t.Fatalf("post-crash stat: %v", err)
+	}
+}

@@ -114,6 +114,43 @@ func formatSeconds(d time.Duration) string {
 	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
 }
 
+// RecoveryMetrics counts the durability and recovery events of the embedded
+// store and the external FFT — summaries rebuilt from raw segments, files
+// quarantined by the torn-tail recovery pass, checksum failures observed,
+// stray commit temp files swept, and repair actions applied. The counters
+// are process-wide (recovery happens at Open time, often before any registry
+// exists) and are rendered by every Registry.
+type RecoveryMetrics struct {
+	SummariesRebuilt  Counter
+	FilesQuarantined  Counter
+	ChecksumFailures  Counter
+	StrayTempsRemoved Counter
+	RepairActions     Counter
+}
+
+var recoveryMetrics RecoveryMetrics
+
+// Recovery returns the process-wide durability/recovery counters.
+func Recovery() *RecoveryMetrics { return &recoveryMetrics }
+
+// renderRecovery writes the recovery counters in exposition format.
+func (m *RecoveryMetrics) renderRecovery(b *strings.Builder) {
+	b.WriteString("# TYPE periodica_store_recovery_events_total counter\n")
+	for _, ev := range []struct {
+		label string
+		c     *Counter
+	}{
+		{"summary_rebuilt", &m.SummariesRebuilt},
+		{"file_quarantined", &m.FilesQuarantined},
+		{"checksum_failure", &m.ChecksumFailures},
+		{"stray_temp_removed", &m.StrayTempsRemoved},
+		{"repair_action", &m.RepairActions},
+	} {
+		b.WriteString(fmt.Sprintf("periodica_store_recovery_events_total{event=%q} %d\n",
+			ev.label, ev.c.Value()))
+	}
+}
+
 // statusClasses label the response-status families tracked per endpoint.
 var statusClasses = [...]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
 
@@ -223,6 +260,7 @@ func (r *Registry) RenderText() string {
 				fmt.Sprintf("endpoint=%q", e.name))
 		}
 	}
+	recoveryMetrics.renderRecovery(&b)
 	return b.String()
 }
 

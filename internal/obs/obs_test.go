@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -164,5 +165,24 @@ func TestConcurrentObservation(t *testing.T) {
 	}
 	if got := r.InFlight().Value(); got != 0 {
 		t.Fatalf("in-flight = %d, want 0", got)
+	}
+}
+
+func TestRecoveryMetricsRender(t *testing.T) {
+	before := Recovery().SummariesRebuilt.Value()
+	Recovery().SummariesRebuilt.Inc()
+	Recovery().FilesQuarantined.Inc()
+
+	text := NewRegistry().RenderText()
+	want := fmt.Sprintf(`periodica_store_recovery_events_total{event="summary_rebuilt"} %d`, before+1)
+	if !strings.Contains(text, want) {
+		t.Errorf("render missing %q:\n%s", want, text)
+	}
+	// Every event label renders even at zero, so dashboards can rate() them
+	// from process start.
+	for _, label := range []string{"file_quarantined", "checksum_failure", "stray_temp_removed", "repair_action"} {
+		if !strings.Contains(text, `event="`+label+`"`) {
+			t.Errorf("render missing recovery event %q:\n%s", label, text)
+		}
 	}
 }

@@ -1,0 +1,122 @@
+// On-disk frame format. Every file the store persists — manifest, segment,
+// summary — is one frame: a fixed 16-byte header, the payload, and a CRC-32C
+// trailer covering header and payload. The checksum turns any torn write,
+// truncation, or bit flip into a detected decode error instead of silently
+// wrong data, and the kind byte stops a summary from ever being decoded as a
+// segment (or vice versa) after an operator shuffles files around.
+//
+//	offset size
+//	0      4    magic "OPF1"
+//	4      1    record kind (1 manifest, 2 segment, 3 summary)
+//	5      1    format version (currently 1)
+//	6      2    reserved, zero
+//	8      8    payload length, little-endian
+//	16     len  payload
+//	16+len 4    CRC-32C (Castagnoli) of bytes [0, 16+len), little-endian
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	frameMagic      = "OPF1"
+	frameHeaderLen  = 16
+	frameTrailerLen = 4
+	frameVersion    = 1
+
+	kindManifest byte = 1
+	kindSegment  byte = 2
+	kindSummary  byte = 3
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func kindName(kind byte) string {
+	switch kind {
+	case kindManifest:
+		return "manifest"
+	case kindSegment:
+		return "segment"
+	case kindSummary:
+		return "summary"
+	}
+	return fmt.Sprintf("kind %d", kind)
+}
+
+// encodeFrame wraps payload in a framed record of the given kind.
+func encodeFrame(kind byte, payload []byte) []byte {
+	out := make([]byte, frameHeaderLen+len(payload)+frameTrailerLen)
+	copy(out, frameMagic)
+	out[4] = kind
+	out[5] = frameVersion
+	binary.LittleEndian.PutUint64(out[8:], uint64(len(payload)))
+	copy(out[frameHeaderLen:], payload)
+	sum := crc32.Checksum(out[:frameHeaderLen+len(payload)], crcTable)
+	binary.LittleEndian.PutUint32(out[frameHeaderLen+len(payload):], sum)
+	return out
+}
+
+// corruptError marks decode failures that mean "this file is damaged"
+// (as opposed to I/O errors reading it), so the recovery pass can decide
+// between quarantine and propagation.
+type corruptError struct{ msg string }
+
+func (e *corruptError) Error() string { return "store: corrupt " + e.msg }
+
+func corruptf(format string, args ...any) error {
+	return &corruptError{msg: fmt.Sprintf(format, args...)}
+}
+
+// isCorrupt reports whether err marks on-disk damage.
+func isCorrupt(err error) bool {
+	var ce *corruptError
+	for err != nil {
+		if e, ok := err.(*corruptError); ok {
+			ce = e
+			break
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			break
+		}
+		err = u.Unwrap()
+	}
+	return ce != nil
+}
+
+// decodeFrame validates a framed record of the wanted kind and returns its
+// payload. data must be the entire file: the declared payload length plus
+// header and trailer must match len(data) exactly, and the CRC must verify.
+func decodeFrame(data []byte, wantKind byte) ([]byte, error) {
+	if len(data) < frameHeaderLen+frameTrailerLen {
+		return nil, corruptf("%s frame: %d bytes, below minimum %d (torn write or truncation)",
+			kindName(wantKind), len(data), frameHeaderLen+frameTrailerLen)
+	}
+	if string(data[:4]) != frameMagic {
+		return nil, corruptf("%s frame: bad magic %q", kindName(wantKind), data[:4])
+	}
+	if data[4] != wantKind {
+		return nil, corruptf("%s frame: record kind is %s", kindName(wantKind), kindName(data[4]))
+	}
+	if data[5] != frameVersion {
+		return nil, corruptf("%s frame: unsupported version %d", kindName(wantKind), data[5])
+	}
+	if data[6] != 0 || data[7] != 0 {
+		return nil, corruptf("%s frame: nonzero reserved bytes", kindName(wantKind))
+	}
+	plen := binary.LittleEndian.Uint64(data[8:])
+	if plen != uint64(len(data)-frameHeaderLen-frameTrailerLen) {
+		return nil, corruptf("%s frame: declared payload %d bytes, file holds %d",
+			kindName(wantKind), plen, len(data)-frameHeaderLen-frameTrailerLen)
+	}
+	want := binary.LittleEndian.Uint32(data[len(data)-frameTrailerLen:])
+	got := crc32.Checksum(data[:len(data)-frameTrailerLen], crcTable)
+	if got != want {
+		return nil, corruptf("%s frame: CRC mismatch (stored %08x, computed %08x)",
+			kindName(wantKind), want, got)
+	}
+	return data[frameHeaderLen : len(data)-frameTrailerLen], nil
+}
