@@ -12,12 +12,15 @@
 //	opbench table3          # multi-symbol patterns, Wal-Mart, ψ=35%
 //	opbench all
 //
-// The default scale finishes in minutes; -full restores the paper's
-// 1M-symbol, 100-run settings (hours). -workers caps the cores the batched
-// detection engine may use (default: all).
+// The default scale finishes in minutes; -quick names it explicitly (CI
+// uses it), and -full restores the paper's 1M-symbol, 100-run settings
+// (hours). -workers caps the cores the batched detection engine may use
+// (default: all). -benchjson writes the fig5 timing points to a file as
+// JSON, for machine comparison and CI artifacts.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -53,8 +56,10 @@ var fullScale = scale{
 
 func main() {
 	full := flag.Bool("full", false, "paper-scale settings (1M symbols, 100 runs)")
+	quick := flag.Bool("quick", false, "CI-scale settings (the default; ignored when -full is set)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	workers := flag.Int("workers", 0, "cap worker goroutines for the detection engine (0 = all cores)")
+	benchJSON := flag.String("benchjson", "", "also write the fig5 timing points to this file as JSON")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -64,6 +69,10 @@ func main() {
 	}
 	sc := quickScale
 	if *full {
+		if *quick {
+			fmt.Fprintln(os.Stderr, "opbench: -quick and -full are mutually exclusive")
+			os.Exit(2)
+		}
 		sc = fullScale
 	}
 	args := flag.Args()
@@ -78,7 +87,7 @@ func main() {
 		case "fig4":
 			err = fig4(sc, *seed)
 		case "fig5":
-			err = fig5(sc, *seed)
+			err = fig5(sc, *seed, *benchJSON)
 		case "fig6":
 			err = fig6(sc, *seed)
 		case "table1":
@@ -92,7 +101,8 @@ func main() {
 		case "quality":
 			err = quality(sc, *seed)
 		case "all":
-			for _, f := range []func(scale, int64) error{fig3, fig4, fig5, fig6, table1, table2, table3, ablation, quality} {
+			fig5All := func(sc scale, seed int64) error { return fig5(sc, seed, *benchJSON) }
+			for _, f := range []func(scale, int64) error{fig3, fig4, fig5All, fig6, table1, table2, table3, ablation, quality} {
 				if err = f(sc, *seed); err != nil {
 					break
 				}
@@ -179,7 +189,7 @@ func fig4(sc scale, seed int64) error {
 	return nil
 }
 
-func fig5(sc scale, seed int64) error {
+func fig5(sc scale, seed int64, jsonPath string) error {
 	points, err := expr.Timing(sc.timingSizes, func(n int) (*series.Series, error) {
 		months := n/(30*24) + 1
 		s := walmart.Series(walmart.Config{Months: months, Seed: seed, DST: true})
@@ -190,6 +200,16 @@ func fig5(sc scale, seed int64) error {
 	}
 	if err := expr.RenderTiming(os.Stdout, "Fig. 5 — detection-phase time vs series length (Wal-Mart-style data)", points); err != nil {
 		return err
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
 	fmt.Println()
 	return nil

@@ -47,7 +47,7 @@ func main() {
 		threshold  = flag.Float64("threshold", 0.8, "periodicity threshold ψ in (0,1]")
 		minPeriod  = flag.Int("min-period", 0, "smallest candidate period (default 1)")
 		maxPeriod  = flag.Int("max-period", 0, "largest candidate period (default n/2)")
-		engine     = flag.String("engine", "auto", "engine: auto, naive, bitset, fft")
+		engine     = flag.String("engine", "", "engine: auto, naive, bitset, fft (default $PERIODICA_ENGINE or auto)")
 		maxPatP    = flag.Int("max-pattern-period", 128, "largest period mined for multi-symbol patterns (-1 disables)")
 		maximal    = flag.Bool("maximal", false, "report only maximal multi-symbol patterns")
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON")
@@ -81,7 +81,17 @@ func main() {
 		return
 	}
 
-	eng, err := parseEngine(*engine)
+	// The engine default resolves like the CI parity matrix does: the
+	// PERIODICA_ENGINE environment variable when the flag is unset, then
+	// auto.
+	name := *engine
+	if name == "" {
+		name = os.Getenv("PERIODICA_ENGINE")
+	}
+	if name == "" {
+		name = "auto"
+	}
+	eng, err := parseEngine(name)
 	if err != nil {
 		fatal(err)
 	}

@@ -11,6 +11,11 @@
 // reporting 503 so load balancers stop routing, in-flight requests are
 // drained for up to -drain-timeout, and the process exits 0 on a clean
 // drain.
+//
+// /metrics includes the mining pipeline's own instrumentation —
+// periodica_stage_duration_seconds{stage} per pipeline stage and
+// periodica_exec_queue_depth for the execution scheduler — alongside
+// the HTTP request counters and histograms.
 package main
 
 import (

@@ -10,8 +10,9 @@
 //
 // The package arguments are accepted for command-line symmetry with go
 // vet but the analyzer always loads the whole module (the mutglobal
-// call graph needs every package anyway); arguments other than ./...
-// restrict which packages' findings are *printed*.
+// call graph needs every package anyway, and stagestate keys on the
+// pipeline packages internal/core and internal/exec); arguments other
+// than ./... restrict which packages' findings are *printed*.
 package main
 
 import (

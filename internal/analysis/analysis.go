@@ -97,6 +97,7 @@ func Rules() []Rule {
 		MutGlobal{},
 		NoAlloc{},
 		PoolPair{},
+		StageState{},
 	}
 }
 

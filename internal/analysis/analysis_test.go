@@ -32,6 +32,8 @@ var goldenCases = []struct {
 	{"noalloc", "noalloc_clean", true},
 	{"errcheck-lite", "errcheck", false},
 	{"errcheck-lite", "errcheck_clean", true},
+	{"stagestate", "stagestate", false},
+	{"stagestate", "stagestate_clean", true},
 }
 
 func TestRuleGoldens(t *testing.T) {
@@ -112,8 +114,8 @@ func TestSuppressionSyntax(t *testing.T) {
 // every rule documents itself.
 func TestRegistry(t *testing.T) {
 	rules := analysis.Rules()
-	if len(rules) != 5 {
-		t.Fatalf("expected 5 rules, got %d", len(rules))
+	if len(rules) != 6 {
+		t.Fatalf("expected 6 rules, got %d", len(rules))
 	}
 	for i, r := range rules {
 		if r.Name() == "" || r.Doc() == "" {
@@ -139,6 +141,7 @@ func TestLoadModule(t *testing.T) {
 		"periodica":               false,
 		"periodica/internal/fft":  false,
 		"periodica/internal/conv": false,
+		"periodica/internal/exec": false,
 		"periodica/cmd/opvet":     false,
 	}
 	for _, pkg := range m.Packages {

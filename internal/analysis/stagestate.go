@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// StageState forbids package-level mutable state in the mining pipeline's
+// stage implementations and in the execution scheduler. The pipeline's
+// determinism contract — the same Result at any worker count — holds only
+// when every stage keeps its state on the session or on the stage value
+// itself; a package-level var shared across concurrently running sessions
+// breaks isolation in ways no single-session test observes.
+//
+// The rule applies in two scopes:
+//
+//   - Any package declaring an unexported non-empty interface named `stage`
+//     (the pipeline seam in internal/core): methods of types implementing
+//     that interface must not read or write mutable package-level vars.
+//   - Any package whose import path ends in "internal/exec" (the
+//     scheduler): no mutable package-level vars may be declared at all —
+//     scheduler state belongs on the Scheduler.
+//
+// Mutability follows the mutglobal rule: exported vars, and unexported
+// vars assigned outside their declaration and init. Vars carrying their
+// own synchronization (sync, sync/atomic, channels), error sentinels
+// (`var ErrX = errors.New(...)` is the stdlib convention and is assign-once
+// by that convention), and //opvet:racesafe-annotated vars are exempt.
+type StageState struct{}
+
+func (StageState) Name() string { return "stagestate" }
+func (StageState) Doc() string {
+	return "forbid package-level mutable state in pipeline stage implementations and the exec scheduler"
+}
+
+func (StageState) Run(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	candidates := mutableGlobals(m)
+	for obj := range candidates {
+		if isErrorSentinel(obj) {
+			delete(candidates, obj)
+		}
+	}
+
+	type finding struct {
+		pos token.Pos
+		msg func()
+	}
+	var finds []finding
+	add := func(pos token.Pos, format string, args ...any) {
+		finds = append(finds, finding{pos, func() { report(pos, format, args...) }})
+	}
+
+	for _, pkg := range m.Packages {
+		if strings.HasSuffix(pkg.Path, "internal/exec") {
+			for obj := range candidates {
+				if obj.Pkg() == pkg.Types {
+					add(obj.Pos(), "package-level mutable state %s in the scheduler package; scheduler state must live on the Scheduler", obj.Name())
+				}
+			}
+		}
+
+		iface := stageInterface(pkg)
+		if iface == nil {
+			continue
+		}
+		eachFunc(pkg, func(_ *ast.File, fn *ast.FuncDecl) {
+			if fn.Recv == nil {
+				return
+			}
+			obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				return
+			}
+			recv := obj.Type().(*types.Signature).Recv().Type()
+			if !types.Implements(recv, iface) && !types.Implements(types.NewPointer(recv), iface) {
+				return
+			}
+			stageName := types.TypeString(recv, types.RelativeTo(pkg.Types)) + "." + fn.Name.Name
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if g := pkg.Info.Uses[id]; g != nil && candidates[g] {
+					add(id.Pos(), "stage implementation %s touches mutable package-level var %s; stage state must live on the session or the stage value", stageName, g.Name())
+				}
+				return true
+			})
+		})
+	}
+
+	sort.Slice(finds, func(i, j int) bool { return finds[i].pos < finds[j].pos })
+	for _, f := range finds {
+		f.msg()
+	}
+}
+
+// stageInterface returns the package's unexported `stage` interface — the
+// pipeline seam this rule keys on — or nil when the package declares none.
+// Empty interfaces are ignored: everything implements them, so keying on
+// one would drag every method in the package into scope.
+func stageInterface(pkg *Package) *types.Interface {
+	obj, ok := pkg.Types.Scope().Lookup("stage").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok || iface.NumMethods() == 0 {
+		return nil
+	}
+	return iface
+}
+
+// isErrorSentinel reports whether the var has the exact type error — the
+// `var ErrX = errors.New(...)` sentinel convention, assign-once by
+// convention and matched by callers via errors.Is.
+func isErrorSentinel(obj types.Object) bool {
+	return types.Identical(obj.Type(), types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,83 @@
+// Fixture for the stagestate rule: methods of types implementing the
+// package's unexported `stage` interface must not touch mutable
+// package-level vars. Reads and writes both fire; non-stage functions,
+// effectively-constant globals, synchronized globals, error sentinels,
+// and suppressed lines stay silent.
+package stagestate
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+type session struct{ n int }
+
+// stage mirrors the pipeline seam in internal/core.
+type stage interface {
+	name() string
+	run(*session) error
+}
+
+// Budget is exported: any importer can assign it, so it is mutable.
+var Budget = 100
+
+// hits is unexported but written by a stage method: runtime-mutable.
+var hits int
+
+// mode is unexported and written by tune: runtime-mutable.
+var mode = "fast"
+
+// table is unexported and only assigned at declaration: effectively
+// constant, silent even when a stage reads it.
+var table = []int{7, 24, 168}
+
+// inFlight is atomic-typed: silent.
+var inFlight atomic.Int64
+
+// errEmpty is an error sentinel: assign-once by convention, silent.
+var errEmpty = errors.New("stagestate: empty")
+
+type countStage struct{}
+
+func (countStage) name() string { return "count" }
+
+func (countStage) run(s *session) error {
+	hits++ // want: write from a stage method
+	if s.n > Budget { // want: read of an exported mutable global
+		return errEmpty
+	}
+	s.n = table[0] // effectively constant: silent
+	inFlight.Add(1)
+	return nil
+}
+
+type modeStage struct{ fallback string }
+
+func (m *modeStage) name() string { return "mode" }
+
+func (m *modeStage) run(s *session) error {
+	if mode == "slow" { // want: read of a tune-mutated global
+		s.n = 0
+	}
+	_ = hits //opvet:ignore stagestate grandfathered diagnostic counter
+	return nil
+}
+
+// tune is not a stage method; this rule leaves it to mutglobal.
+func tune(fast bool) {
+	if fast {
+		mode = "fast"
+		return
+	}
+	mode = "slow"
+	hits = 0
+}
+
+// helper implements neither method set: silent even though it touches
+// every global.
+type helper struct{}
+
+func (helper) reset() {
+	hits = 0
+	Budget = 1
+}

@@ -1,0 +1,53 @@
+// True-negative fixture for the stagestate rule: stages keep their state
+// on the session and on their own values, package-level vars are either
+// effectively constant, synchronized, or error sentinels, and the
+// mutable ones are touched only outside stage implementations.
+package stagestateclean
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+type session struct {
+	n     int
+	seen  []int
+	calls int
+}
+
+type stage interface {
+	name() string
+	run(*session) error
+}
+
+// periods is assigned only at declaration: effectively constant.
+var periods = []int{7, 24, 168}
+
+// running is atomic-typed: carries its own synchronization.
+var running atomic.Bool
+
+// ErrDrained is an error sentinel.
+var ErrDrained = errors.New("stagestateclean: drained")
+
+// debugDump is mutable, but only non-stage code touches it.
+var debugDump bool
+
+type sweep struct{ lo int }
+
+func (sweep) name() string { return "sweep" }
+
+func (s sweep) run(ses *session) error {
+	ses.calls++
+	for _, p := range periods {
+		if p >= s.lo {
+			ses.seen = append(ses.seen, p)
+		}
+	}
+	if ses.n == 0 {
+		return ErrDrained
+	}
+	running.Store(true)
+	return nil
+}
+
+func enableDump() { debugDump = true }

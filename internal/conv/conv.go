@@ -20,9 +20,9 @@ import (
 	"fmt"
 	"math/big"
 	"runtime"
-	"sync"
 
 	"periodica/internal/bitvec"
+	"periodica/internal/exec"
 	"periodica/internal/fft"
 	"periodica/internal/series"
 )
@@ -262,6 +262,22 @@ func LagMatchCountsBatchedCancel(s *series.Series, workers int, cancel func() er
 }
 
 func lagMatchCountsBatched(s *series.Series, workers int, cancel func() error) ([][]int64, error) {
+	sched := exec.New(exec.Config{Workers: workers, Cancel: cancel})
+	return LagMatchCountsExec(s, sched, workers, nil)
+}
+
+// LagMatchCountsExec is the scheduler-driven form of the batched
+// autocorrelation and the implementation behind every other LagMatchCounts
+// variant: the pair transforms are sharded over sched's worker pool, which
+// is also where cancellation is polled (before each pair is claimed, so the
+// cancellation latency is bounded by one in-flight pair FFT). workers caps
+// the total cores used (0 means all cores — the FFT precompute fans out
+// fully even when the surrounding stage pipeline is serial); workers left over
+// after the pairs are assigned go to parallel butterflies inside each
+// transform. plans supplies the FFT plan cache (nil means the process-shared
+// cache). The counts are exact integers and bit-identical for every worker
+// count.
+func LagMatchCountsExec(s *series.Series, sched *exec.Scheduler, workers int, plans *fft.PlanCache) ([][]int64, error) {
 	n, sigma := s.Len(), s.Alphabet().Size()
 	out := make([][]int64, sigma)
 	if sigma == 0 {
@@ -274,7 +290,10 @@ func lagMatchCountsBatched(s *series.Series, workers int, cancel func() error) (
 	if n == 0 {
 		return out, nil
 	}
-	plan := fft.PlanFor(fft.NextPow2(2 * n))
+	if plans == nil {
+		plans = fft.SharedPlans()
+	}
+	plan := plans.For(fft.NextPow2(2 * n))
 	pairs := (sigma + 1) / 2
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -286,47 +305,23 @@ func lagMatchCountsBatched(s *series.Series, workers int, cancel func() error) (
 	// Cores not consumed by pair-level parallelism parallelize the
 	// butterflies of each transform instead.
 	inner := workers / outer
-
-	var (
-		errMu     sync.Mutex
-		cancelErr error // first cancellation wins
-	)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < outer; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			x1 := make([]float64, n)
-			x2 := make([]float64, n)
-			for k := range next {
-				if cancel != nil {
-					if err := cancel(); err != nil {
-						errMu.Lock()
-						if cancelErr == nil {
-							cancelErr = err
-						}
-						errMu.Unlock()
-						continue // drain the channel without transforming
-					}
-				}
-				s.IndicatorInto(k, x1)
-				if k+1 < sigma {
-					s.IndicatorInto(k+1, x2)
-					plan.AutocorrelateCountsPairInto(x1, x2, out[k], out[k+1], inner)
-				} else {
-					plan.AutocorrelateCountsInto(x1, out[k], inner)
-				}
+	err := sched.Run(pairs, outer, func(w int) func(i int) error {
+		x1 := make([]float64, n)
+		x2 := make([]float64, n)
+		return func(i int) error {
+			k := 2 * i
+			s.IndicatorInto(k, x1)
+			if k+1 < sigma {
+				s.IndicatorInto(k+1, x2)
+				plan.AutocorrelateCountsPairInto(x1, x2, out[k], out[k+1], inner)
+			} else {
+				plan.AutocorrelateCountsInto(x1, out[k], inner)
 			}
-		}()
-	}
-	for k := 0; k < sigma; k += 2 {
-		next <- k
-	}
-	close(next)
-	wg.Wait()
-	if cancelErr != nil {
-		return nil, cancelErr
+			return nil
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -3,76 +3,32 @@ package core
 import (
 	"context"
 
-	"periodica/internal/conv"
 	"periodica/internal/series"
 )
 
-// MineContext is Mine with cooperative cancellation: the context is polled
-// between the FFT precompute's pair transforms, at every candidate period,
-// inside the per-symbol detection loop, between occurrence-set builds, and
-// every few thousand pattern-enumeration steps, so a cancelled or timed-out
-// mine over a large series returns promptly with the context's error — well
-// before the period loop (let alone the pattern stage) completes. The one
-// uninterruptible stretch is a single in-flight pair FFT, O(n log n).
+// MineContext is Mine with cooperative cancellation: the session's scheduler
+// polls the context between the FFT precompute's pair transforms, at every
+// candidate period of the sweep and resolve stages, between occurrence-set
+// builds, and every few thousand pattern-enumeration steps, so a cancelled
+// or timed-out mine over a large series returns promptly with the context's
+// error — well before the period sweep (let alone the pattern stage)
+// completes. The one uninterruptible stretch is a single in-flight pair FFT,
+// O(n log n).
 func MineContext(ctx context.Context, s *series.Series, opt Options) (*Result, error) {
-	opt, err := opt.withDefaults(s.Len())
+	ses, err := newSession(s, opt, sessionConfig{workers: 1, cancel: ctx.Err})
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	eng := opt.Engine
-	if eng == EngineAuto {
-		if s.Len() >= 4096 {
-			eng = EngineFFT
-		} else {
-			eng = EngineNaive
-		}
-	}
-	var det *detector
-	if eng == EngineFFT {
-		// Build the detector by hand so the batched autocorrelation honours
-		// the context between pair transforms.
-		lag, err := conv.LagMatchCountsBatchedCancel(s, 0, ctx.Err)
-		if err != nil {
-			return nil, err
-		}
-		det = newDetectorFromIndicators(conv.NewIndicators(s), lag)
-	} else {
-		det = newDetector(s, eng)
-	}
-	det.s = s
-	det.minPairs = opt.MinPairs
-	det.cancel = ctx.Err
-	res := &Result{N: s.Len(), Sigma: s.Alphabet().Size(), Threshold: opt.Threshold}
-	periodSet := map[int]bool{}
-	for p := opt.MinPeriod; p <= opt.MaxPeriod; p++ {
-		det.detect(p, opt.Threshold, func(sp SymbolPeriodicity) {
-			res.Periodicities = append(res.Periodicities, sp)
-			periodSet[p] = true
-		})
-		if det.err != nil {
-			return nil, det.err
-		}
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	finishResult(res, periodSet)
-	if opt.MaxPatternPeriod >= 0 {
-		res.Patterns, res.PatternsTruncated, err = minePatterns(det, res.Periodicities, opt, ctx.Err)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	return ses.mine()
 }
 
 // DetectCandidatesContext is DetectCandidates with cooperative cancellation:
-// the context is checked before the FFT pass and every 256 candidate periods
-// of the aggregate sweep, so a cancelled or timed-out detection returns
-// promptly with the context's error.
+// the scheduler polls the context before the FFT pass, between its pair
+// transforms, and at every period of the aggregate sweep, so a cancelled or
+// timed-out detection returns promptly with the context's error.
 func DetectCandidatesContext(ctx context.Context, s *series.Series, psi float64, maxPeriod int) ([]CandidatePeriod, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 
-	"periodica/internal/conv"
 	"periodica/internal/series"
 )
 
@@ -33,49 +32,15 @@ func DetectCandidates(s *series.Series, psi float64, maxPeriod int) ([]Candidate
 }
 
 // detectCandidates is the shared implementation behind DetectCandidates and
-// DetectCandidatesContext; ctx is polled before the FFT pass and every 256
-// periods of the aggregate sweep.
+// DetectCandidatesContext: a session whose pipeline is just the detect stage
+// (lag counts only) and the candidate sweep, with the context polled by the
+// scheduler throughout.
 func detectCandidates(ctx context.Context, s *series.Series, psi float64, maxPeriod int) ([]CandidatePeriod, error) {
-	n := s.Len()
-	if psi <= 0 || psi > 1 {
-		return nil, invalidf("core: threshold ψ=%v outside (0,1]", psi)
-	}
-	if maxPeriod == 0 {
-		maxPeriod = n / 2
-	}
-	if maxPeriod < 1 || maxPeriod >= n {
-		return nil, invalidf("core: maxPeriod %d outside [1,%d)", maxPeriod, n)
-	}
-	lag, err := conv.LagMatchCountsBatchedCancel(s, 0, ctx.Err)
+	ses, err := newCandidateSession(s, psi, maxPeriod, sessionConfig{workers: 1, cancel: ctx.Err})
 	if err != nil {
 		return nil, err
 	}
-	var out []CandidatePeriod
-	for p := 1; p <= maxPeriod; p++ {
-		if p&255 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		minPairs := pairsAt(n, p, p-1)
-		if pairsAt(n, p, 0) < 1 {
-			continue
-		}
-		if minPairs < 1 {
-			minPairs = 1
-		}
-		best, bestCount := -1, int64(0)
-		for k := range lag {
-			r := lag[k][p]
-			if float64(r) >= psi*float64(minPairs) && r > bestCount {
-				best, bestCount = k, r
-			}
-		}
-		if best >= 0 {
-			out = append(out, CandidatePeriod{Period: p, BestSymbol: best, MatchCount: bestCount})
-		}
-	}
-	return out, nil
+	return ses.candidates(memoryDetect{lagOnly: true})
 }
 
 // BestConfidences returns, for every period p in [1, maxPeriod], the maximum

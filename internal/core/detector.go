@@ -10,7 +10,10 @@ import (
 
 // detector evaluates, for one period p at a time, the per-symbol per-position
 // counts F2(s_k, π_{p,l}(T)) and emits the symbol periodicities that reach
-// the threshold.
+// the threshold. A detector is pure computation over shared read-only inputs
+// (series, indicators, lag counts) plus private scratch; cancellation and
+// sharding belong to the exec scheduler that drives it, so pipeline stages
+// build one detector per worker.
 type detector struct {
 	s        *series.Series
 	eng      Engine
@@ -18,15 +21,9 @@ type detector struct {
 	ind      *conv.Indicators
 	lag      [][]int64 // FFT lag-match counts, lag[k][p]
 	match    *bitvec.Vector
-	counts   []int // phase-count scratch; only touched entries are non-zero
-	touched  []int // phases with non-zero counts, for output-sensitive reset
-
-	// cancel, when set, is polled inside the per-symbol detection loop (for
-	// MineContext this is ctx.Err); a non-nil return aborts detection with
-	// that error latched in err. Detected-so-far results are discarded by
-	// the caller.
-	cancel func() error
-	err    error
+	counts   []int   // phase-count scratch; only touched entries are non-zero
+	touched  []int   // phases with non-zero counts, for output-sensitive reset
+	surv     []int32 // surviving-symbol scratch for the fused detect path
 }
 
 func newDetector(s *series.Series, eng Engine) *detector {
@@ -67,42 +64,29 @@ func (d *detector) sigma() int {
 	return d.ind.Sigma
 }
 
-// cancelled reports (and latches) a pending cancellation.
-func (d *detector) cancelled() bool {
-	if d.err != nil {
-		return true
-	}
-	if d.cancel != nil {
-		if err := d.cancel(); err != nil {
-			d.err = err
-			return true
-		}
-	}
-	return false
-}
-
 // detect finds all symbol periodicities at period p with confidence ≥ psi.
+// It fuses the sweep and resolve stages of the pipeline for callers that
+// query one period at a time (Confidencer, BestConfidences, significance).
 func (d *detector) detect(p int, psi float64, emit func(SymbolPeriodicity)) {
 	n := d.n()
-	if p < 1 || p >= n || d.err != nil {
+	if p < 1 || p >= n {
 		return
 	}
 	if pairsAt(n, p, 0) < d.minPairs {
 		return // no position can reach the required projection mass
 	}
-	switch d.eng {
-	case EngineNaive:
+	if d.eng == EngineNaive {
 		d.detectNaive(p, psi, emit)
-	default:
-		d.detectPruned(p, psi, emit)
+		return
+	}
+	d.surv = d.survivors(p, psi, d.surv[:0])
+	for _, k := range d.surv {
+		d.resolveSymbol(int(k), p, psi, emit)
 	}
 }
 
 // detectNaive scans the series once, tallying matches per (symbol, phase).
 func (d *detector) detectNaive(p int, psi float64, emit func(SymbolPeriodicity)) {
-	if d.cancelled() {
-		return
-	}
 	n, sigma := d.n(), d.sigma()
 	need := sigma * p
 	if cap(d.counts) < need {
@@ -124,22 +108,19 @@ func (d *detector) detectNaive(p int, psi float64, emit func(SymbolPeriodicity))
 	}
 }
 
-// detectPruned computes per-symbol total lag-p match counts (by popcount for
-// the bitset engine, from the FFT autocorrelation for the FFT engine) and
-// resolves phases only for symbols that could reach the threshold at some
-// phase. The prune is sound: F2(s_k, π_{p,l}) ≤ r_k(p) for every l, and the
-// denominator is smallest at the largest phase, so
-// max_l conf(k,p,l) ≤ r_k(p)/minPairs.
-func (d *detector) detectPruned(p int, psi float64, emit func(SymbolPeriodicity)) {
+// survivors appends to dst the symbols whose aggregate lag-p match count
+// could still reach the threshold at some position. The prune is sound:
+// F2(s_k, π_{p,l}) ≤ r_k(p) for every l, and the denominator is smallest at
+// the largest phase, so max_l conf(k,p,l) ≤ r_k(p)/minPairs. r_k(p) comes
+// from the FFT autocorrelation when available and a bitset popcount
+// otherwise.
+func (d *detector) survivors(p int, psi float64, dst []int32) []int32 {
 	n, sigma := d.n(), d.sigma()
 	minPairs := pairsAt(n, p, p-1)
 	if minPairs < d.minPairs {
 		minPairs = d.minPairs
 	}
 	for k := 0; k < sigma; k++ {
-		if d.cancelled() {
-			return
-		}
 		var r int64
 		switch d.eng {
 		case EngineFFT:
@@ -148,28 +129,34 @@ func (d *detector) detectPruned(p int, psi float64, emit func(SymbolPeriodicity)
 			d.match = d.ind.MatchSet(k, p, d.match)
 			r = int64(d.match.Count())
 		}
-		if float64(r) < psi*float64(minPairs) {
-			continue
+		if float64(r) >= psi*float64(minPairs) {
+			dst = append(dst, int32(k))
 		}
-		d.match = d.ind.MatchSet(k, p, d.match)
-		if cap(d.counts) < p {
-			d.counts = make([]int, p)
+	}
+	return dst
+}
+
+// resolveSymbol computes the exact per-phase counts F2(s_k, π_{p,l}) for one
+// surviving symbol and emits the qualifying periodicities in phase order.
+func (d *detector) resolveSymbol(k, p int, psi float64, emit func(SymbolPeriodicity)) {
+	d.match = d.ind.MatchSet(k, p, d.match)
+	if cap(d.counts) < p {
+		d.counts = make([]int, p)
+	}
+	counts := d.counts[:p]
+	d.touched = d.touched[:0]
+	d.match.ForEach(func(i int) {
+		l := i % p
+		if counts[l] == 0 {
+			d.touched = append(d.touched, l)
 		}
-		counts := d.counts[:p]
-		d.touched = d.touched[:0]
-		d.match.ForEach(func(i int) {
-			l := i % p
-			if counts[l] == 0 {
-				d.touched = append(d.touched, l)
-			}
-			counts[l]++
-		})
-		// Only touched phases can qualify (F2 > 0); emit in phase order.
-		sort.Ints(d.touched)
-		for _, l := range d.touched {
-			d.emitIf(k, p, l, counts[l], psi, emit)
-			counts[l] = 0
-		}
+		counts[l]++
+	})
+	// Only touched phases can qualify (F2 > 0); emit in phase order.
+	sort.Ints(d.touched)
+	for _, l := range d.touched {
+		d.emitIf(k, p, l, counts[l], psi, emit)
+		counts[l] = 0
 	}
 }
 

@@ -32,37 +32,55 @@ func DetectCandidatesFile(path string, psi float64, maxPeriod int, cfg ExternalC
 	if psi <= 0 || psi > 1 {
 		return nil, fmt.Errorf("core: threshold ψ=%v outside (0,1]", psi)
 	}
-	f, err := os.Open(path)
+	ses := newFileSession(psi, maxPeriod, sessionConfig{workers: 1})
+	return ses.candidates(fileDetect{path: path, cfg: cfg})
+}
+
+// fileDetect is the detect stage over an on-disk series: it parses the
+// header (learning the session's series bounds), splits the stream into
+// per-symbol indicator files in one pass, and fills the session's lag counts
+// with the external FFT — after which the shared candidate sweep runs
+// unchanged.
+type fileDetect struct {
+	path string
+	cfg  ExternalConfig
+}
+
+func (fileDetect) name() string { return "detect" }
+
+func (st fileDetect) run(ses *session) error {
+	f, err := os.Open(st.path)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer func() { _ = f.Close() }() // read-only; nothing to lose on close
 	br := bufio.NewReader(f)
 	header, err := br.ReadString('\n')
 	if err != nil {
-		return nil, err
+		return err
 	}
 	var sigma, n int
 	if _, err := fmt.Sscanf(header, "PSER1 %d %d", &sigma, &n); err != nil {
-		return nil, fmt.Errorf("core: bad series header %q", header)
+		return fmt.Errorf("core: bad series header %q", header)
 	}
 	if sigma < 1 || n < 2 {
-		return nil, fmt.Errorf("core: bad series header σ=%d n=%d", sigma, n)
+		return fmt.Errorf("core: bad series header σ=%d n=%d", sigma, n)
 	}
-	if maxPeriod == 0 {
-		maxPeriod = n / 2
+	if ses.opt.MaxPeriod == 0 {
+		ses.opt.MaxPeriod = n / 2
 	}
-	if maxPeriod < 1 || maxPeriod >= n {
-		return nil, fmt.Errorf("core: maxPeriod %d outside [1,%d)", maxPeriod, n)
+	if ses.opt.MaxPeriod < 1 || ses.opt.MaxPeriod >= n {
+		return fmt.Errorf("core: maxPeriod %d outside [1,%d)", ses.opt.MaxPeriod, n)
 	}
+	ses.n, ses.sigma = n, sigma
 
-	dir := cfg.TmpDir
+	dir := st.cfg.TmpDir
 	if dir == "" {
-		dir = filepath.Dir(path)
+		dir = filepath.Dir(st.path)
 	}
 	work, err := os.MkdirTemp(dir, "periodica-ext-*")
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer func() { _ = os.RemoveAll(work) }() // best-effort temp cleanup
 
@@ -72,7 +90,7 @@ func DetectCandidatesFile(path string, psi float64, maxPeriod int, cfg ExternalC
 	for k := range indicators {
 		files[k], err = os.Create(filepath.Join(work, fmt.Sprintf("ind-%d.bin", k)))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		indicators[k] = bufio.NewWriter(files[k])
 	}
@@ -82,12 +100,12 @@ func DetectCandidatesFile(path string, psi float64, maxPeriod int, cfg ExternalC
 		want := min(len(buf), n-read)
 		got, err := io.ReadFull(br, buf[:want])
 		if err != nil {
-			return nil, fmt.Errorf("core: truncated series body: %v", err)
+			return fmt.Errorf("core: truncated series body: %v", err)
 		}
 		for i := 0; i < got; i++ {
 			k := int(buf[i])
 			if k >= sigma {
-				return nil, fmt.Errorf("core: symbol byte %d at position %d exceeds σ=%d", buf[i], read+i, sigma)
+				return fmt.Errorf("core: symbol byte %d at position %d exceeds σ=%d", buf[i], read+i, sigma)
 			}
 			for j := range indicators {
 				bit := byte(0)
@@ -95,7 +113,7 @@ func DetectCandidatesFile(path string, psi float64, maxPeriod int, cfg ExternalC
 					bit = 1
 				}
 				if err := indicators[j].WriteByte(bit); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		}
@@ -103,43 +121,27 @@ func DetectCandidatesFile(path string, psi float64, maxPeriod int, cfg ExternalC
 	}
 	for k := range indicators {
 		if err := indicators[k].Flush(); err != nil {
-			return nil, err
+			return err
 		}
 		if err := files[k].Close(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 
-	// Autocorrelate each indicator out of core and aggregate candidates.
-	opts := fft.ExternalOptions{TmpDir: work, MemElements: cfg.MemElements}
-	lag := make([][]int64, sigma)
+	// Autocorrelate each indicator out of core, polling cancellation
+	// between symbols (one external FFT is the uninterruptible unit here).
+	opts := fft.ExternalOptions{TmpDir: work, MemElements: st.cfg.MemElements}
+	ses.lag = make([][]int64, sigma)
 	for k := 0; k < sigma; k++ {
-		lag[k], err = fft.AutocorrelateFile(filepath.Join(work, fmt.Sprintf("ind-%d.bin", k)), n, opts)
+		if err := ses.sched.Poll(); err != nil {
+			return err
+		}
+		ses.lag[k], err = fft.AutocorrelateFile(filepath.Join(work, fmt.Sprintf("ind-%d.bin", k)), n, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	var out []CandidatePeriod
-	for p := 1; p <= maxPeriod; p++ {
-		minPairs := pairsAt(n, p, p-1)
-		if pairsAt(n, p, 0) < 1 {
-			continue
-		}
-		if minPairs < 1 {
-			minPairs = 1
-		}
-		best, bestCount := -1, int64(0)
-		for k := 0; k < sigma; k++ {
-			r := lag[k][p]
-			if float64(r) >= psi*float64(minPairs) && r > bestCount {
-				best, bestCount = k, r
-			}
-		}
-		if best >= 0 {
-			out = append(out, CandidatePeriod{Period: p, BestSymbol: best, MatchCount: bestCount})
-		}
-	}
-	return out, nil
+	return nil
 }
 
 // WriteSeriesFile stores s in the on-disk format DetectCandidatesFile

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"periodica/internal/alphabet"
@@ -128,19 +129,33 @@ func (m *IncrementalMiner) Periodicities(psi float64) ([]SymbolPeriodicity, erro
 }
 
 // Mine runs the full algorithm (including pattern formation) on the stream
-// seen so far; equivalent to Mine over Series() with the miner's period
-// bound.
+// seen so far through the shared session pipeline; equivalent to Mine over
+// Series() with the miner's period bound.
 func (m *IncrementalMiner) Mine(opt Options) (*Result, error) {
 	if len(m.data) == 0 {
 		return nil, fmt.Errorf("core: empty stream")
 	}
+	return Mine(m.Series(), m.mineOptions(opt))
+}
+
+// MineContext is Mine with cooperative cancellation, with the same polling
+// points as MineContext over an in-memory series.
+func (m *IncrementalMiner) MineContext(ctx context.Context, opt Options) (*Result, error) {
+	if len(m.data) == 0 {
+		return nil, fmt.Errorf("core: empty stream")
+	}
+	return MineContext(ctx, m.Series(), m.mineOptions(opt))
+}
+
+// mineOptions clamps the requested period range to the tracked bound.
+func (m *IncrementalMiner) mineOptions(opt Options) Options {
 	if opt.MaxPeriod == 0 || opt.MaxPeriod > m.maxPeriod {
 		opt.MaxPeriod = min(m.maxPeriod, len(m.data)/2)
 	}
 	if opt.MaxPeriod < 1 {
 		opt.MaxPeriod = 1
 	}
-	return Mine(m.Series(), opt)
+	return opt
 }
 
 // Merge combines two miners over adjacent segments of one series (m holding

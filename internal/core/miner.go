@@ -138,37 +138,16 @@ func pairsAt(n, p, l int) int {
 	return (n-l+p-1)/p - 1
 }
 
-// Mine runs the full algorithm of Fig. 2 over s.
+// Mine runs the full algorithm of Fig. 2 over s. It is a thin adapter: a
+// session over s drives the shared detect → sweep → resolve → enumerate
+// pipeline with a serial scheduler (the FFT precompute still batches across
+// all cores, exactly as before).
 func Mine(s *series.Series, opt Options) (*Result, error) {
-	opt, err := opt.withDefaults(s.Len())
+	ses, err := newSession(s, opt, sessionConfig{workers: 1})
 	if err != nil {
 		return nil, err
 	}
-	eng := opt.Engine
-	if eng == EngineAuto {
-		if s.Len() >= 4096 {
-			eng = EngineFFT
-		} else {
-			eng = EngineNaive
-		}
-	}
-
-	det := newDetector(s, eng)
-	det.minPairs = opt.MinPairs
-	res := &Result{N: s.Len(), Sigma: s.Alphabet().Size(), Threshold: opt.Threshold}
-	periodSet := map[int]bool{}
-	for p := opt.MinPeriod; p <= opt.MaxPeriod; p++ {
-		det.detect(p, opt.Threshold, func(sp SymbolPeriodicity) {
-			res.Periodicities = append(res.Periodicities, sp)
-			periodSet[p] = true
-		})
-	}
-	finishResult(res, periodSet)
-
-	if opt.MaxPatternPeriod >= 0 {
-		res.Patterns, res.PatternsTruncated, _ = minePatterns(det, res.Periodicities, opt, nil)
-	}
-	return res, nil
+	return ses.mine()
 }
 
 // finishResult sorts the collected periodicities, derives the period list,

@@ -1,18 +1,16 @@
 package core
 
 import (
-	"runtime"
-	"sort"
-	"sync"
-
 	"periodica/internal/conv"
+	"periodica/internal/exec"
 	"periodica/internal/series"
 )
 
 // ParallelBestConfidences is BestConfidences with the candidate periods
-// swept by the given number of goroutines (0 means GOMAXPROCS). Each worker
-// carries its own scratch detector over the shared, read-only indicators, so
-// the result is identical to the serial sweep.
+// sharded over the given number of scheduler workers (0 means GOMAXPROCS).
+// Each worker carries its own scratch detector over the shared, read-only
+// indicators and writes into its period's slot, so the result is identical
+// to the serial sweep.
 func ParallelBestConfidences(s *series.Series, maxPeriod, workers int) ([]float64, error) {
 	n := s.Len()
 	if maxPeriod == 0 {
@@ -21,153 +19,58 @@ func ParallelBestConfidences(s *series.Series, maxPeriod, workers int) ([]float6
 	if maxPeriod < 1 || maxPeriod >= n {
 		return nil, invalidf("core: maxPeriod %d outside [1,%d)", maxPeriod, n)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > maxPeriod {
-		workers = maxPeriod
-	}
 	ind := conv.NewIndicators(s)
 	out := make([]float64, maxPeriod+1)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			det := newDetectorFromIndicators(ind, nil)
-			// Interleaved assignment balances the load: large periods cost
-			// more per detect call.
-			for p := w + 1; p <= maxPeriod; p += workers {
-				best := 0.0
-				det.detect(p, 1e-9, func(sp SymbolPeriodicity) {
-					if sp.Confidence > best {
-						best = sp.Confidence
-					}
-				})
-				if best > 1 {
-					best = 1
+	sched := exec.New(exec.Config{Workers: workers})
+	err := sched.Run(maxPeriod, workers, func(w int) func(i int) error {
+		det := newDetectorFromIndicators(ind, nil)
+		return func(i int) error {
+			p := i + 1
+			best := 0.0
+			det.detect(p, 1e-9, func(sp SymbolPeriodicity) {
+				if sp.Confidence > best {
+					best = sp.Confidence
 				}
-				out[p] = best
+			})
+			if best > 1 {
+				best = 1
 			}
-		}(w)
-	}
-	wg.Wait()
-	return out, nil
-}
-
-// MineParallel is Mine with the per-period detection spread over the given
-// number of goroutines (0 = GOMAXPROCS). The result is identical to the
-// serial Mine with the same options; the naive engine is substituted by the
-// bitset engine, which shares its semantics.
-func MineParallel(s *series.Series, opt Options, workers int) (*Result, error) {
-	opt, err := opt.withDefaults(s.Len())
+			out[p] = best
+			return nil
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	eng := opt.Engine
-	if eng == EngineAuto || eng == EngineNaive {
-		if s.Len() >= 4096 {
-			eng = EngineFFT
-		} else {
-			eng = EngineBitset
-		}
-	}
-	ind := conv.NewIndicators(s)
-	var lag [][]int64
-	if eng == EngineFFT {
-		lag = conv.LagMatchCountsBatched(s, workers)
-	}
+	return out, nil
+}
 
-	span := opt.MaxPeriod - opt.MinPeriod + 1
-	if workers > span {
-		workers = span
-	}
-	perWorker := make([][]SymbolPeriodicity, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			det := newDetectorFromIndicators(ind, lag)
-			det.minPairs = opt.MinPairs
-			for p := opt.MinPeriod + w; p <= opt.MaxPeriod; p += workers {
-				det.detect(p, opt.Threshold, func(sp SymbolPeriodicity) {
-					perWorker[w] = append(perWorker[w], sp)
-				})
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	res := &Result{N: s.Len(), Sigma: s.Alphabet().Size(), Threshold: opt.Threshold}
-	periodSet := map[int]bool{}
-	for _, pers := range perWorker {
-		for _, sp := range pers {
-			res.Periodicities = append(res.Periodicities, sp)
-			periodSet[sp.Period] = true
-		}
-	}
-	for p := range periodSet {
-		res.Periods = append(res.Periods, p)
-	}
-	sort.Ints(res.Periods)
-	sort.Slice(res.Periodicities, func(i, j int) bool {
-		a, b := res.Periodicities[i], res.Periodicities[j]
-		if a.Period != b.Period {
-			return a.Period < b.Period
-		}
-		if a.Position != b.Position {
-			return a.Position < b.Position
-		}
-		return a.Symbol < b.Symbol
+// MineParallel is Mine with the per-period stage work spread over the given
+// number of scheduler workers (0 = GOMAXPROCS). The result is identical to
+// the serial Mine with the same options; the naive engine is substituted by
+// the bitset engine, which shares its semantics and shards cleanly.
+func MineParallel(s *series.Series, opt Options, workers int) (*Result, error) {
+	ses, err := newSession(s, opt, sessionConfig{
+		workers:    workers,
+		fftWorkers: workers,
+		parallel:   true,
 	})
-	for _, sp := range res.Periodicities {
-		res.SingleSymbol = append(res.SingleSymbol, singlePattern(sp))
+	if err != nil {
+		return nil, err
 	}
-	if opt.MaxPatternPeriod >= 0 {
-		det := newDetectorFromIndicators(ind, lag)
-		res.Patterns, res.PatternsTruncated, _ = minePatterns(det, res.Periodicities, opt, nil)
-	}
-	return res, nil
+	return ses.mine()
 }
 
 // ParallelDetectCandidates is DetectCandidates with the per-symbol FFT
-// autocorrelations run concurrently (0 workers means GOMAXPROCS). The
-// result is identical to the serial form.
+// autocorrelations and the aggregate sweep sharded over the given number of
+// workers (0 means GOMAXPROCS). The result is identical to the serial form.
 func ParallelDetectCandidates(s *series.Series, psi float64, maxPeriod, workers int) ([]CandidatePeriod, error) {
-	n := s.Len()
-	if psi <= 0 || psi > 1 {
-		return nil, invalidf("core: threshold ψ=%v outside (0,1]", psi)
+	ses, err := newCandidateSession(s, psi, maxPeriod, sessionConfig{
+		workers:    workers,
+		fftWorkers: workers,
+	})
+	if err != nil {
+		return nil, err
 	}
-	if maxPeriod == 0 {
-		maxPeriod = n / 2
-	}
-	if maxPeriod < 1 || maxPeriod >= n {
-		return nil, invalidf("core: maxPeriod %d outside [1,%d)", maxPeriod, n)
-	}
-	lag := conv.LagMatchCountsBatched(s, workers)
-	var out []CandidatePeriod
-	for p := 1; p <= maxPeriod; p++ {
-		minPairs := pairsAt(n, p, p-1)
-		if pairsAt(n, p, 0) < 1 {
-			continue
-		}
-		if minPairs < 1 {
-			minPairs = 1
-		}
-		best, bestCount := -1, int64(0)
-		for k := range lag {
-			r := lag[k][p]
-			if float64(r) >= psi*float64(minPairs) && r > bestCount {
-				best, bestCount = k, r
-			}
-		}
-		if best >= 0 {
-			out = append(out, CandidatePeriod{Period: p, BestSymbol: best, MatchCount: bestCount})
-		}
-	}
-	return out, nil
+	return ses.candidates(memoryDetect{lagOnly: true})
 }

@@ -6,6 +6,7 @@ import (
 
 	"periodica/internal/alphabet"
 	"periodica/internal/bitvec"
+	"periodica/internal/exec"
 )
 
 // DontCare marks a don't-care position in a pattern.
@@ -83,10 +84,11 @@ type slot struct {
 // the support of an extension never exceeds that of its prefix, so a prefix
 // below threshold prunes its whole subtree.
 //
-// cancel, when non-nil, is polled between occurrence-set builds and every
-// few thousand enumeration steps (for MineContext it is ctx.Err); a non-nil
-// return aborts the stage and is returned as err with no patterns.
-func minePatterns(det *detector, pers []SymbolPeriodicity, opt Options, cancel func() error) (out []Pattern, truncated bool, err error) {
+// sched, when non-nil, supplies cancellation and step accounting: it is
+// polled between occurrence-set builds and ticked every DFS chunk, so a
+// cancelled context (or an exhausted step budget) aborts the stage with that
+// error and no patterns.
+func minePatterns(det *detector, pers []SymbolPeriodicity, opt Options, sched *exec.Scheduler) (out []Pattern, truncated bool, err error) {
 	byPeriod := map[int][]SymbolPeriodicity{}
 	for _, sp := range pers {
 		if sp.Period <= opt.MaxPatternPeriod {
@@ -110,8 +112,8 @@ func minePatterns(det *detector, pers []SymbolPeriodicity, opt Options, cancel f
 		}
 		slots := make([][]slot, p)
 		for _, sp := range group {
-			if cancel != nil {
-				if err := cancel(); err != nil {
+			if sched != nil {
+				if err := sched.Poll(); err != nil {
 					return nil, false, err
 				}
 			}
@@ -124,7 +126,7 @@ func minePatterns(det *detector, pers []SymbolPeriodicity, opt Options, cancel f
 			total:  det.n() / p,
 			psi:    opt.Threshold,
 			max:    opt.MaxPatterns - len(out),
-			cancel: cancel,
+			sched:  sched,
 		}
 		e.walk(0, nil)
 		if e.err != nil {
@@ -221,10 +223,15 @@ type enumerator struct {
 	chosen    []FixedSymbol
 	found     []Pattern
 	truncated bool
-	cancel    func() error // optional cooperative-cancellation poll
+	sched     *exec.Scheduler // optional cancellation/step accounting
 	steps     int
 	err       error
 }
+
+// enumTickEvery is the DFS chunk size between scheduler ticks: large enough
+// to keep the atomic step counter off the recursion hot path, small enough
+// that cancellation lands within microseconds.
+const enumTickEvery = 1024
 
 // walk extends the pattern at position l with cur = AND of the chosen
 // occurrence sets (nil while no symbol chosen yet).
@@ -236,8 +243,8 @@ func (e *enumerator) walk(l int, cur *bitvec.Vector) {
 	// prune alone does not bound the time between cancellation polls; an
 	// explicit step counter does.
 	e.steps++
-	if e.cancel != nil && e.steps&1023 == 0 {
-		if err := e.cancel(); err != nil {
+	if e.sched != nil && e.steps&(enumTickEvery-1) == 0 {
+		if err := e.sched.Tick(enumTickEvery); err != nil {
 			e.err = err
 			return
 		}

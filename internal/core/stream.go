@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"periodica/internal/alphabet"
@@ -49,11 +50,21 @@ func (m *StreamMiner) Series() *series.Series {
 	return series.FromIndices(m.alpha, m.data)
 }
 
-// Finish mines the ingested stream. The miner can keep ingesting and Finish
-// again later; results reflect the stream seen so far.
+// Finish mines the ingested stream through the shared session pipeline. The
+// miner can keep ingesting and Finish again later; results reflect the
+// stream seen so far.
 func (m *StreamMiner) Finish(opt Options) (*Result, error) {
 	if len(m.data) == 0 {
 		return nil, fmt.Errorf("core: empty stream")
 	}
 	return Mine(m.Series(), opt)
+}
+
+// FinishContext is Finish with cooperative cancellation, with the same
+// polling points as MineContext.
+func (m *StreamMiner) FinishContext(ctx context.Context, opt Options) (*Result, error) {
+	if len(m.data) == 0 {
+		return nil, fmt.Errorf("core: empty stream")
+	}
+	return MineContext(ctx, m.Series(), opt)
 }

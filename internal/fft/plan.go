@@ -104,31 +104,51 @@ func reverse64(v uint64) uint64 {
 // Size returns the transform length the plan was built for.
 func (p *Plan) Size() int { return p.n }
 
-// planCache maps transform sizes to shared plans. A mutex (not sync.Map)
+// PlanCache maps transform sizes to plans. A mutex (not sync.Map)
 // serializes construction so two goroutines never build the same multi-MB
-// table twice.
-var (
-	planMu    sync.Mutex
-	planCache = map[int]*Plan{}
-)
+// table twice. Plans are immutable after construction (scratch lives in a
+// pool), so a plan may be shared freely between caches. The zero value is
+// not usable; call NewPlanCache.
+type PlanCache struct {
+	mu    sync.Mutex
+	plans map[int]*Plan
+}
 
-// PlanFor returns the shared cached plan for transforms of length n,
-// building it on first use. n must be a power of two.
-func PlanFor(n int) *Plan {
+// NewPlanCache returns an empty plan cache. Mining sessions hold a cache so
+// plan reuse is an injection point rather than ambient global state; most
+// sessions share SharedPlans, while tests and short-lived tools may isolate
+// themselves with a fresh cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{plans: map[int]*Plan{}}
+}
+
+// For returns the cached plan for transforms of length n, building it on
+// first use. n must be a power of two.
+func (c *PlanCache) For(n int) *Plan {
 	if !IsPow2(n) {
 		// Panic before taking the lock so a recovered caller cannot leave
 		// the cache poisoned.
 		panic(fmt.Sprintf("fft: plan length %d is not a power of two", n))
 	}
-	planMu.Lock()
-	defer planMu.Unlock()
-	p := planCache[n]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.plans[n]
 	if p == nil {
 		p = NewPlan(n)
-		planCache[n] = p
+		c.plans[n] = p
 	}
 	return p
 }
+
+// sharedPlans is the process-wide cache behind PlanFor.
+var sharedPlans = NewPlanCache()
+
+// SharedPlans returns the process-wide plan cache.
+func SharedPlans() *PlanCache { return sharedPlans }
+
+// PlanFor returns the shared cached plan for transforms of length n,
+// building it on first use. n must be a power of two.
+func PlanFor(n int) *Plan { return sharedPlans.For(n) }
 
 // scratch borrows a length-n buffer from the plan's pool; release returns it.
 //

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"periodica"
+	"periodica/internal/exec"
 	"periodica/internal/obs"
 )
 
@@ -64,11 +65,13 @@ type Config struct {
 }
 
 // Server is the mining service: an http.Handler plus the lifecycle state
-// (readiness, admission semaphore, metrics) behind it.
+// (readiness, admission gate, metrics) behind it. Admission delegates to an
+// exec.Gate, so the request-level concurrency limit lives in the same
+// package as the engine-level worker budget it protects.
 type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
-	sem     chan struct{}
+	gate    *exec.Gate
 	ready   atomic.Bool
 	metrics *obs.Registry
 	log     *slog.Logger
@@ -95,7 +98,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, cfg.MaxConcurrency),
+		gate:    exec.NewGate(cfg.MaxConcurrency),
 		metrics: cfg.Metrics,
 		log:     cfg.Logger,
 	}
@@ -255,15 +258,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // the mining call, not the body read: a slow client trickling its upload
 // must not hold a mining slot.
 func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
-	select {
-	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, true
-	default:
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests,
-			ErrorResponse{Error: "server is at its mining concurrency limit; retry later"})
-		return nil, false
+	if s.gate.TryAcquire() {
+		return s.gate.Release, true
 	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests,
+		ErrorResponse{Error: "server is at its mining concurrency limit; retry later"})
+	return nil, false
 }
 
 // requestContext derives the mining context from the client's: it is

@@ -204,7 +204,9 @@ func TestRequestEntityTooLarge(t *testing.T) {
 
 func TestAdmissionControl(t *testing.T) {
 	s := quiet(Config{MaxConcurrency: 1})
-	s.sem <- struct{}{} // occupy the only mining slot
+	if !s.gate.TryAcquire() { // occupy the only mining slot
+		t.Fatal("fresh gate refused its first slot")
+	}
 	rec := post(t, s, "/v1/mine", `{"symbols":"abcabbabcb","threshold":0.66}`)
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429: %s", rec.Code, rec.Body)
@@ -212,19 +214,21 @@ func TestAdmissionControl(t *testing.T) {
 	if rec.Header().Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After")
 	}
-	<-s.sem // free the slot; the same request must now succeed
+	s.gate.Release() // free the slot; the same request must now succeed
 	rec = post(t, s, "/v1/mine", `{"symbols":"abcabbabcb","threshold":0.66}`)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("after release: status %d: %s", rec.Code, rec.Body)
 	}
 	// Cheap endpoints are never shed.
-	s.sem <- struct{}{}
+	if !s.gate.TryAcquire() {
+		t.Fatal("released gate refused a slot")
+	}
 	rec = httptest.NewRecorder()
 	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("healthz under load: status %d", rec.Code)
 	}
-	<-s.sem
+	s.gate.Release()
 }
 
 func TestRequestTimeout504(t *testing.T) {
@@ -347,6 +351,15 @@ func TestMetricsEndpoint(t *testing.T) {
 		`periodica_http_in_flight 1`, // the /metrics request itself
 		`periodica_mine_duration_seconds_count{endpoint="/v1/mine"} 1`,
 		`periodica_http_request_duration_seconds_bucket{endpoint="/v1/mine"`,
+		// The exec pipeline behind the mine reports per-stage durations and
+		// its queue depth (0 when idle) through the same registry.
+		`# TYPE periodica_exec_queue_depth gauge`,
+		`periodica_exec_queue_depth 0`,
+		`# TYPE periodica_stage_duration_seconds histogram`,
+		`periodica_stage_duration_seconds_bucket{stage="detect"`,
+		`periodica_stage_duration_seconds_count{stage="sweep"}`,
+		`periodica_stage_duration_seconds_count{stage="resolve"}`,
+		`periodica_stage_duration_seconds_count{stage="enumerate"}`,
 	} {
 		if !strings.Contains(text, line) {
 			t.Errorf("metrics missing %q:\n%s", line, text)

@@ -38,6 +38,9 @@ func (g *Gauge) Inc() { g.v.Add(1) }
 // Dec subtracts one.
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
 // Set replaces the value.
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
@@ -151,6 +154,76 @@ func (m *RecoveryMetrics) renderRecovery(b *strings.Builder) {
 	}
 }
 
+// ExecMetrics instruments the staged execution pipeline (internal/exec and
+// the mining session built on it): one duration histogram per pipeline stage
+// and a gauge of work items queued but not yet claimed by a scheduler
+// worker. The metrics are process-wide (sessions are built below the serving
+// layer, often with no registry in sight) and are rendered by every
+// Registry.
+type ExecMetrics struct {
+	mu     sync.Mutex
+	stages map[string]*Histogram
+	queue  Gauge
+}
+
+var execMetrics ExecMetrics
+
+// Exec returns the process-wide pipeline metrics.
+func Exec() *ExecMetrics { return &execMetrics }
+
+// ObserveStage records one run of the named pipeline stage.
+func (m *ExecMetrics) ObserveStage(stage string, d time.Duration) {
+	m.mu.Lock()
+	if m.stages == nil {
+		m.stages = map[string]*Histogram{}
+	}
+	h := m.stages[stage]
+	if h == nil {
+		h = NewHistogram()
+		m.stages[stage] = h
+	}
+	m.mu.Unlock()
+	h.Observe(d)
+}
+
+// StageCount returns the number of recorded runs of the named stage.
+func (m *ExecMetrics) StageCount(stage string) int64 {
+	m.mu.Lock()
+	h := m.stages[stage]
+	m.mu.Unlock()
+	if h == nil {
+		return 0
+	}
+	return h.Count()
+}
+
+// QueueDepth returns the gauge of scheduler work items that are queued but
+// not yet claimed by a worker.
+func (m *ExecMetrics) QueueDepth() *Gauge { return &m.queue }
+
+// renderExec writes the pipeline metrics in exposition format. Both metric
+// families render even before any stage has run, so scrapes always see a
+// stable schema.
+func (m *ExecMetrics) renderExec(b *strings.Builder) {
+	b.WriteString("# TYPE periodica_exec_queue_depth gauge\n")
+	b.WriteString(fmt.Sprintf("periodica_exec_queue_depth %d\n", m.queue.Value()))
+	b.WriteString("# TYPE periodica_stage_duration_seconds histogram\n")
+	m.mu.Lock()
+	names := make([]string, 0, len(m.stages))
+	for name := range m.stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	hs := make([]*Histogram, 0, len(names))
+	for _, name := range names {
+		hs = append(hs, m.stages[name])
+	}
+	m.mu.Unlock()
+	for i, name := range names {
+		hs[i].renderBuckets(b, "periodica_stage_duration_seconds", fmt.Sprintf("stage=%q", name))
+	}
+}
+
 // statusClasses label the response-status families tracked per endpoint.
 var statusClasses = [...]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
 
@@ -261,6 +334,7 @@ func (r *Registry) RenderText() string {
 		}
 	}
 	recoveryMetrics.renderRecovery(&b)
+	execMetrics.renderExec(&b)
 	return b.String()
 }
 

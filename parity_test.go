@@ -1,0 +1,246 @@
+package periodica_test
+
+// Cross-path parity: the batch, context, parallel, streaming, and
+// incremental entry points are all thin adapters over one session pipeline,
+// so the same symbol sequence must yield byte-identical Results through
+// every path, for every engine — and under cancellation every path must
+// return context.Canceled with no partial result. CI runs these under
+// `go test -run Parity -race` across PERIODICA_ENGINE={naive,bitset,fft}.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+
+	"periodica"
+)
+
+// parityEngines returns the engines to exercise: the one named by the
+// PERIODICA_ENGINE environment variable (the CI matrix), or all of them.
+func parityEngines(t *testing.T) map[string]periodica.Engine {
+	t.Helper()
+	all := map[string]periodica.Engine{
+		"naive":  periodica.EngineNaive,
+		"bitset": periodica.EngineBitset,
+		"fft":    periodica.EngineFFT,
+	}
+	name := os.Getenv("PERIODICA_ENGINE")
+	if name == "" {
+		return all
+	}
+	eng, ok := all[name]
+	if !ok {
+		t.Fatalf("PERIODICA_ENGINE=%q is not naive, bitset, or fft", name)
+	}
+	return map[string]periodica.Engine{name: eng}
+}
+
+// paritySymbols builds a noisy periodic sequence over a three-symbol
+// alphabet: period 7 with a fixed motif, 20% replacement noise.
+func paritySymbols(n int) []string {
+	motif := []string{"a", "b", "a", "c", "b", "b", "c"}
+	alpha := []string{"a", "b", "c"}
+	rng := rand.New(rand.NewSource(11))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = motif[i%len(motif)]
+		if rng.Intn(5) == 0 {
+			out[i] = alpha[rng.Intn(len(alpha))]
+		}
+	}
+	return out
+}
+
+// mineAllPaths runs the same symbols and options through every entry point
+// and returns the per-path results, keyed by path name.
+func mineAllPaths(t *testing.T, symbols []string, opt periodica.Options) map[string]*periodica.Result {
+	t.Helper()
+	out := map[string]*periodica.Result{}
+
+	s, err := periodica.NewSeries(symbols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["Mine"], err = periodica.Mine(s, opt); err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	if out["MineContext"], err = periodica.MineContext(context.Background(), s, opt); err != nil {
+		t.Fatalf("MineContext: %v", err)
+	}
+
+	alpha := []string{"a", "b", "c"}
+	st, err := periodica.NewStream(alpha...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sym := range symbols {
+		if err := st.Append(sym); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out["Stream.Finish"], err = st.Finish(opt); err != nil {
+		t.Fatalf("Stream.Finish: %v", err)
+	}
+	if out["Stream.FinishContext"], err = st.FinishContext(context.Background(), opt); err != nil {
+		t.Fatalf("Stream.FinishContext: %v", err)
+	}
+
+	inc, err := periodica.NewIncremental(len(symbols)/2, alpha...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sym := range symbols {
+		if err := inc.Append(sym); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out["Incremental.Mine"], err = inc.Mine(opt); err != nil {
+		t.Fatalf("Incremental.Mine: %v", err)
+	}
+	if out["Incremental.MineContext"], err = inc.MineContext(context.Background(), opt); err != nil {
+		t.Fatalf("Incremental.MineContext: %v", err)
+	}
+	return out
+}
+
+func TestParityAcrossPaths(t *testing.T) {
+	for _, n := range []int{605, 5000} { // below and above the auto FFT crossover
+		for name, eng := range parityEngines(t) {
+			if eng == periodica.EngineNaive && n > 1000 {
+				// Keep the quadratic reference to the small input; the
+				// engines were already cross-checked against it there.
+				continue
+			}
+			t.Run(fmt.Sprintf("n=%d/%s", n, name), func(t *testing.T) {
+				symbols := paritySymbols(n)
+				opt := periodica.Options{Threshold: 0.6, Engine: eng, MinPairs: 3, MaxPatternPeriod: 21}
+				results := mineAllPaths(t, symbols, opt)
+				base := results["Mine"]
+				if len(base.Periodicities) == 0 {
+					t.Fatal("parity fixture detected nothing; the test is vacuous")
+				}
+				for path, res := range results {
+					if !reflect.DeepEqual(base, res) {
+						t.Errorf("%s result differs from Mine", path)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestParityAutoEngine(t *testing.T) {
+	// EngineAuto must resolve identically on every path (one resolver).
+	symbols := paritySymbols(5000)
+	opt := periodica.Options{Threshold: 0.6, MinPairs: 3, MaxPatternPeriod: 21}
+	results := mineAllPaths(t, symbols, opt)
+	base := results["Mine"]
+	for path, res := range results {
+		if !reflect.DeepEqual(base, res) {
+			t.Errorf("%s result differs from Mine under EngineAuto", path)
+		}
+	}
+	// MineParallel shares the pipeline with a wider scheduler; its result
+	// must match the serial mine exactly.
+	s, err := periodica.NewSeries(symbols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := periodica.MineParallel(s, opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, par) {
+		t.Error("MineParallel result differs from Mine")
+	}
+}
+
+// countdownCtx is a context whose Err starts returning context.Canceled
+// after a fixed number of polls — deterministic mid-run cancellation,
+// independent of timing.
+type countdownCtx struct {
+	context.Context
+	mu        sync.Mutex
+	remaining int
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+func TestParityCancellation(t *testing.T) {
+	symbols := paritySymbols(5000)
+	for name, eng := range parityEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			opt := periodica.Options{Threshold: 0.6, Engine: eng, MinPairs: 3, MaxPatternPeriod: 21}
+
+			cancelled, cancel := context.WithCancel(context.Background())
+			cancel()
+
+			// Pre-cancelled and mid-run cancellation: every path must
+			// return context.Canceled and no partial result.
+			for _, polls := range []int{0, 25} {
+				s, err := periodica.NewSeries(symbols)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := periodica.NewStream("a", "b", "c")
+				if err != nil {
+					t.Fatal(err)
+				}
+				inc, err := periodica.NewIncremental(len(symbols)/2, "a", "b", "c")
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, sym := range symbols {
+					if err := st.Append(sym); err != nil {
+						t.Fatal(err)
+					}
+					if err := inc.Append(sym); err != nil {
+						t.Fatal(err)
+					}
+				}
+				ctxFor := func() context.Context {
+					if polls == 0 {
+						return cancelled
+					}
+					return &countdownCtx{Context: context.Background(), remaining: polls}
+				}
+				type attempt struct {
+					path string
+					res  *periodica.Result
+					err  error
+				}
+				var attempts []attempt
+				res, err := periodica.MineContext(ctxFor(), s, opt)
+				attempts = append(attempts, attempt{"MineContext", res, err})
+				res, err = st.FinishContext(ctxFor(), opt)
+				attempts = append(attempts, attempt{"Stream.FinishContext", res, err})
+				res, err = inc.MineContext(ctxFor(), opt)
+				attempts = append(attempts, attempt{"Incremental.MineContext", res, err})
+				for _, a := range attempts {
+					if !errors.Is(a.err, context.Canceled) {
+						t.Errorf("polls=%d %s error = %v, want context.Canceled", polls, a.path, a.err)
+					}
+					if a.res != nil {
+						t.Errorf("polls=%d %s returned a partial result alongside cancellation", polls, a.path)
+					}
+					if errors.Is(a.err, periodica.ErrInvalidInput) {
+						t.Errorf("polls=%d %s cancellation must not look like invalid input", polls, a.path)
+					}
+				}
+			}
+		})
+	}
+}

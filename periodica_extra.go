@@ -232,6 +232,28 @@ func MineContext(ctx context.Context, s *Series, opt Options) (*Result, error) {
 	return convertResult(s, res), nil
 }
 
+// FinishContext is Stream.Finish with cooperative cancellation, sharing
+// MineContext's polling points: a cancelled or timed-out context aborts the
+// mine promptly with the context's error and no partial result.
+func (st *Stream) FinishContext(ctx context.Context, opt Options) (*Result, error) {
+	res, err := st.inner.FinishContext(ctx, opt.internal())
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(&Series{inner: st.inner.Series()}, res), nil
+}
+
+// MineContext is Incremental.Mine with cooperative cancellation, sharing
+// MineContext's polling points: a cancelled or timed-out context aborts the
+// mine promptly with the context's error and no partial result.
+func (inc *Incremental) MineContext(ctx context.Context, opt Options) (*Result, error) {
+	res, err := inc.inner.MineContext(ctx, opt.internal())
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(&Series{inner: inc.inner.Series()}, res), nil
+}
+
 // CandidatePeriodsContext is CandidatePeriods with cooperative cancellation:
 // a cancelled or timed-out context aborts the detection sweep promptly with
 // the context's error.
