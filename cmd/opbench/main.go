@@ -10,24 +10,34 @@
 //	opbench table1          # period values, Wal-Mart & CIMEG substitutes
 //	opbench table2          # single-symbol patterns at p=24 / p=7
 //	opbench table3          # multi-symbol patterns, Wal-Mart, ψ=35%
+//	opbench kernels         # per-kernel convolution breakdown (complex vs
+//	                        # real vs four-step, tuned vs pinned crossovers)
 //	opbench all
 //
 // The default scale finishes in minutes; -quick names it explicitly (CI
 // uses it), and -full restores the paper's 1M-symbol, 100-run settings
 // (hours). -workers caps the cores the batched detection engine may use
-// (default: all). -benchjson writes the fig5 timing points to a file as
-// JSON, for machine comparison and CI artifacts.
+// (default: all). -benchjson writes the fig5 timing points (or, for the
+// kernels experiment, the per-kernel breakdown) to a file as JSON, for
+// machine comparison and CI artifacts. -tune loads a saved fft.TunedProfile
+// before benchmarking; -autotune runs a fresh calibration sweep of the given
+// duration instead. Every report opens with a provenance header (engine,
+// GOMAXPROCS, tuned-profile source) so bench_results_*.txt files are
+// comparable across hosts.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"time"
 
 	"periodica/internal/cimeg"
 	"periodica/internal/expr"
+	"periodica/internal/fft"
 	"periodica/internal/gen"
 	"periodica/internal/series"
 	"periodica/internal/walmart"
@@ -59,7 +69,9 @@ func main() {
 	quick := flag.Bool("quick", false, "CI-scale settings (the default; ignored when -full is set)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	workers := flag.Int("workers", 0, "cap worker goroutines for the detection engine (0 = all cores)")
-	benchJSON := flag.String("benchjson", "", "also write the fig5 timing points to this file as JSON")
+	benchJSON := flag.String("benchjson", "", "also write the fig5 timing points (or kernels breakdown) to this file as JSON")
+	tune := flag.String("tune", "", "load an fft tuned-profile JSON before benchmarking (default $PERIODICA_TUNE_FILE)")
+	autotune := flag.Duration("autotune", 0, "run a calibration sweep of this duration and apply (and, with -tune, save) the profile")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -67,14 +79,21 @@ func main() {
 		// here bounds both the per-pair fan-out and the parallel butterflies.
 		runtime.GOMAXPROCS(*workers)
 	}
+	if err := applyTuning(*tune, *autotune); err != nil {
+		fmt.Fprintln(os.Stderr, "opbench:", err)
+		os.Exit(1)
+	}
 	sc := quickScale
+	scaleName := "quick"
 	if *full {
 		if *quick {
 			fmt.Fprintln(os.Stderr, "opbench: -quick and -full are mutually exclusive")
 			os.Exit(2)
 		}
 		sc = fullScale
+		scaleName = "full"
 	}
+	printProvenance(scaleName)
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"all"}
@@ -96,6 +115,8 @@ func main() {
 			err = table2(sc, *seed)
 		case "table3":
 			err = table3(sc, *seed)
+		case "kernels":
+			err = kernels(sc, *seed, *benchJSON)
 		case "ablation":
 			err = ablation(sc, *seed)
 		case "quality":
@@ -328,6 +349,179 @@ func quality(sc scale, seed int64) error {
 		"Quality (beyond the paper) — rank of the true period per detector under replacement noise",
 		rows, cfg.TopK); err != nil {
 		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+// applyTuning installs the fft tuned profile the flags ask for. -autotune
+// runs a fresh calibration sweep and applies it (and, when -tune also names a
+// path, persists the profile there for later runs); -tune alone loads a saved
+// profile. With neither flag, a profile named by PERIODICA_TUNE_FILE is
+// honored when present, so opbench sees exactly what a deployed miner sees.
+func applyTuning(tunePath string, budget time.Duration) error {
+	if budget > 0 {
+		prof := fft.Autotune(budget)
+		fft.ApplyTuned(prof)
+		if tunePath != "" {
+			if err := prof.Save(tunePath); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if tunePath != "" {
+		prof, err := fft.LoadTuned(tunePath)
+		if err != nil {
+			return err
+		}
+		fft.ApplyTuned(prof)
+		return nil
+	}
+	_, _, err := fft.LoadTunedFromEnv()
+	return err
+}
+
+// printProvenance opens every report with the facts needed to compare two
+// bench_results files: scale, engine selection, parallelism, toolchain, and
+// where the fft tuning came from. Numbers without this header are not
+// comparable across hosts.
+func printProvenance(scaleName string) {
+	engine := os.Getenv("PERIODICA_ENGINE")
+	if engine == "" {
+		engine = "auto"
+	}
+	fmt.Printf("opbench: scale=%s engine=%s GOMAXPROCS=%d go=%s\n",
+		scaleName, engine, runtime.GOMAXPROCS(0), runtime.Version())
+	if p := fft.Tuned(); p != nil {
+		fmt.Printf("opbench: tuned profile %s (host=%s engineCrossover=%d parallelThreshold=%d fourStepMin=%d calibration=%.3fs)\n",
+			p.Source, p.Host, p.EngineCrossover, p.ParallelThreshold, p.FourStepMin, p.CalibrationSecs)
+	} else {
+		fmt.Printf("opbench: tuned profile none (pinned defaults: engineCrossover=4096 parallelThreshold=%d fourStepMin=%d)\n",
+			fft.DefaultParallelThreshold, fft.DefaultFourStepMin)
+	}
+	fmt.Println()
+}
+
+// kernelPoint is one measured cell of the per-kernel breakdown: best-of wall
+// time for one per-symbol autocorrelation (lag counts) at series length n.
+type kernelPoint struct {
+	N                int     `json:"n"`
+	Kernel           string  `json:"kernel"`
+	Seconds          float64 `json:"seconds"`
+	SpeedupVsComplex float64 `json:"speedupVsComplex"`
+}
+
+// bestOf reports the fastest of reps runs of f, in seconds.
+func bestOf(reps int, f func()) float64 {
+	best := math.MaxFloat64
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start).Seconds(); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// kernels benchmarks the convolution hot path — one symbol's circular
+// autocorrelation counts — under each FFT kernel at the scale's timing sizes:
+// the complex radix-2 path (the only kernel before the real/four-step split),
+// the real-input half-size kernel, the real kernel over the four-step
+// cache-blocked transform, and the auto dispatch under both the active tuned
+// profile and the pinned defaults. The speedup column is new-vs-old: pinned
+// auto dispatch against the complex kernel.
+func kernels(sc scale, seed int64, jsonPath string) error {
+	workers := runtime.GOMAXPROCS(0)
+	reps := 3
+	if sc.length >= fullScale.length {
+		reps = 5
+	}
+
+	// Restore whatever tuning state the flags installed once we are done
+	// flipping kernels on and off for the per-cell measurements.
+	prof := fft.Tuned()
+	savedMin := fft.FourStepMin()
+	defer func() {
+		if prof != nil {
+			fft.ApplyTuned(prof)
+		} else {
+			fft.ResetTuned()
+		}
+	}()
+
+	fmt.Println("Per-kernel breakdown — per-symbol autocorrelation counts (best of", reps, "runs, ms)")
+	fmt.Printf("%10s %12s %12s %12s %12s %12s %9s\n",
+		"n", "complex", "real", "real+4step", "auto/tuned", "auto/pinned", "speedup")
+
+	var points []kernelPoint
+	for _, n := range sc.timingSizes {
+		plan := fft.PlanFor(fft.NextPow2(2 * n))
+		x := make([]float64, n)
+		rng := uint64(seed)*0x9e3779b97f4a7c15 + 1
+		for i := range x {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			x[i] = float64(rng >> 63)
+		}
+		out := make([]int64, n)
+
+		measure := func(f func()) float64 {
+			f() // warm the plan cache and scratch pools outside the timed reps
+			return bestOf(reps, f)
+		}
+
+		fft.SetFourStepMin(fft.FourStepDisabled)
+		complexSec := measure(func() { plan.AutocorrelateCountsKernelInto(x, out, workers, fft.KernelComplex) })
+		realSec := measure(func() { plan.AutocorrelateCountsKernelInto(x, out, workers, fft.KernelReal) })
+		fft.SetFourStepMin(1) // clamps to the four-step floor: forced on
+		fourSec := measure(func() { plan.AutocorrelateCountsKernelInto(x, out, workers, fft.KernelReal) })
+
+		fft.SetFourStepMin(savedMin)
+		tunedSec := measure(func() { plan.AutocorrelateCountsInto(x, out, workers) })
+		fft.ResetTuned()
+		pinnedSec := measure(func() { plan.AutocorrelateCountsInto(x, out, workers) })
+		if prof != nil {
+			fft.ApplyTuned(prof)
+		}
+
+		speedup := complexSec / pinnedSec
+		fmt.Printf("%10d %12.3f %12.3f %12.3f %12.3f %12.3f %8.2fx\n",
+			n, complexSec*1e3, realSec*1e3, fourSec*1e3, tunedSec*1e3, pinnedSec*1e3, speedup)
+
+		for _, cell := range []struct {
+			kernel string
+			sec    float64
+		}{
+			{"complex", complexSec},
+			{"real", realSec},
+			{"real+fourstep", fourSec},
+			{"auto-tuned", tunedSec},
+			{"auto-pinned", pinnedSec},
+		} {
+			points = append(points, kernelPoint{
+				N: n, Kernel: cell.kernel, Seconds: cell.sec,
+				SpeedupVsComplex: complexSec / cell.sec,
+			})
+		}
+	}
+
+	fourMin := "disabled"
+	if savedMin < fft.FourStepDisabled {
+		fourMin = fmt.Sprint(savedMin)
+	}
+	fmt.Printf("active crossovers: fourStepMin=%s parallelThreshold=%d engineCrossover=%d (0 = pinned 4096)\n",
+		fourMin, fft.ParallelThreshold(), fft.TunedEngineCrossover())
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
 	fmt.Println()
 	return nil

@@ -53,8 +53,29 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON")
 		top        = flag.Int("top", 25, "rows printed per section (0 = all)")
 		candidates = flag.Bool("candidates-only", false, "run only the O(σ n log n) detection phase and list candidate periods")
+		tuneFile   = flag.String("tune", "", "load a convolution tuned-profile JSON (default $PERIODICA_TUNE_FILE)")
+		autotune   = flag.Duration("autotune", 0, "calibrate the convolution crossovers for this host before mining (sweep duration; with -tune, saves the profile there)")
 	)
 	flag.Parse()
+
+	// Tuning only moves work between byte-identical kernels, so it can never
+	// change what gets mined — apply it before anything touches the engine.
+	switch {
+	case *autotune > 0 && *tuneFile != "":
+		if err := periodica.AutotuneToFile(*autotune, *tuneFile); err != nil {
+			fatal(err)
+		}
+	case *autotune > 0:
+		periodica.Autotune(*autotune)
+	case *tuneFile != "":
+		if err := periodica.LoadTuneFile(*tuneFile); err != nil {
+			fatal(err)
+		}
+	default:
+		if _, err := periodica.LoadTuneFromEnv(); err != nil {
+			fatal(err)
+		}
+	}
 
 	s, err := readSeries(*in, *format, prepConfig{
 		levels: *levels, sax: *sax, detrend: *detrend, paa: *paa,

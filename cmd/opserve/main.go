@@ -30,6 +30,8 @@ import (
 	"syscall"
 	"time"
 
+	"periodica"
+	"periodica/internal/fft"
 	"periodica/internal/httpapi"
 )
 
@@ -43,9 +45,44 @@ func run() int {
 	requestTimeout := flag.Duration("request-timeout", httpapi.DefaultRequestTimeout, "per-request mining deadline (0 = default, negative = no deadline)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	tuneFile := flag.String("tune", "", "load a convolution tuned-profile JSON (default $PERIODICA_TUNE_FILE)")
+	autotune := flag.Duration("autotune", 0, "calibrate the convolution crossovers at startup (sweep duration; with -tune, saves the profile there)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	// Tuning moves work between byte-identical kernels, so it changes serving
+	// latency but never a response body. Calibrate/load before accepting
+	// traffic and log the provenance so deployments can tell tuned replicas
+	// from pinned ones.
+	switch {
+	case *autotune > 0 && *tuneFile != "":
+		if err := periodica.AutotuneToFile(*autotune, *tuneFile); err != nil {
+			fmt.Fprintf(os.Stderr, "opserve: autotune: %v\n", err)
+			return 1
+		}
+	case *autotune > 0:
+		periodica.Autotune(*autotune)
+	case *tuneFile != "":
+		if err := periodica.LoadTuneFile(*tuneFile); err != nil {
+			fmt.Fprintf(os.Stderr, "opserve: %v\n", err)
+			return 1
+		}
+	default:
+		if _, err := periodica.LoadTuneFromEnv(); err != nil {
+			fmt.Fprintf(os.Stderr, "opserve: %s: %v\n", periodica.TuneFileEnv, err)
+			return 1
+		}
+	}
+	if p := fft.Tuned(); p != nil {
+		logger.Info("fft tuned profile applied",
+			"source", p.Source, "host", p.Host,
+			"engineCrossover", p.EngineCrossover,
+			"parallelThreshold", p.ParallelThreshold,
+			"fourStepMin", p.FourStepMin)
+	} else {
+		logger.Info("fft tuning: pinned defaults (no profile)")
+	}
 
 	api := httpapi.New(httpapi.Config{
 		MaxConcurrency: *maxConcurrency,

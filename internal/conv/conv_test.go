@@ -404,3 +404,47 @@ func FuzzLagMatchCountsBatched(f *testing.F) {
 		}
 	})
 }
+
+// TestLagMatchCountsTunedKernelsBitIdentical sweeps the batched driver
+// across tuning extremes — four-step forced on at its floor, everything
+// forced off — and every worker count, requiring counts bit-identical to the
+// untuned serial run (and exactly equal to the quadratic reference). This is
+// the conv-level guarantee that a tuned profile can never change mining
+// results.
+func TestLagMatchCountsTunedKernelsBitIdentical(t *testing.T) {
+	defer fft.ResetTuned()
+	rng := rand.New(rand.NewSource(23))
+	idx := make([]uint16, 3000)
+	for i := range idx {
+		idx[i] = uint16(rng.Intn(5))
+	}
+	s := series.FromIndices(alphabet.Letters(5), idx)
+	fft.ResetTuned()
+	want := LagMatchCounts(s)
+	naive := LagMatchCountsNaive(s)
+	for k := range want {
+		for p := range want[k] {
+			if want[k][p] != naive[k][p] {
+				t.Fatalf("untuned r_%d(%d) = %d, naive %d", k, p, want[k][p], naive[k][p])
+			}
+		}
+	}
+	for _, prof := range []*fft.TunedProfile{
+		{ParallelThreshold: 1 << 10, FourStepMin: 1}, // everything on, as early as possible
+		{ParallelThreshold: 1 << 30, FourStepMin: fft.FourStepDisabled}, // everything off
+	} {
+		fft.ApplyTuned(prof)
+		for _, workers := range []int{1, 2, 3, 8} {
+			got := LagMatchCountsParallel(s, workers)
+			for k := range want {
+				for p := range want[k] {
+					if got[k][p] != want[k][p] {
+						t.Fatalf("profile %+v workers=%d: r_%d(%d) = %d, want %d",
+							prof, workers, k, p, got[k][p], want[k][p])
+					}
+				}
+			}
+		}
+		fft.ResetTuned()
+	}
+}

@@ -19,11 +19,18 @@ const autoEngineThreshold = 4096
 // resolveEngine is the single place an engine request becomes a concrete
 // engine. parallel marks runs whose per-period work is sharded over multiple
 // workers; there the naive engine (whose semantics the bitset engine shares
-// exactly) is substituted by the bitset engine, which shards cleanly.
+// exactly) is substituted by the bitset engine, which shards cleanly. An
+// applied tuned profile (fft.Autotune / PERIODICA_TUNE_FILE) replaces the
+// pinned crossover with the host's measured one; since every engine computes
+// identical results, tuning moves only the cost, never the output.
 func resolveEngine(e Engine, n int, parallel bool) Engine {
 	switch e {
 	case EngineAuto:
-		if n >= autoEngineThreshold {
+		threshold := autoEngineThreshold
+		if t := fft.TunedEngineCrossover(); t > 0 {
+			threshold = t
+		}
+		if n >= threshold {
 			return EngineFFT
 		}
 		if parallel {

@@ -1,0 +1,179 @@
+// Cache-blocked four-step (Bailey) transform. Past a few hundred KB the
+// iterative radix-2/4 kernel's late stages stride the whole vector and
+// thrash L2. The four-step decomposition views the length-n vector as an
+// n1×n2 matrix (n = n1·n2), runs the n2 column transforms of length n1,
+// multiplies by the twiddles exp(−2πi·k1·j2/n), then runs the n1 row
+// transforms of length n2 — every sub-transform is contiguous and
+// cache-resident, and the only whole-vector traffic is the L2-blocked
+// transposes that keep the data unit-stride for each phase. Sub-transforms
+// reuse the small plans' fused radix-2/4 kernel; the final transpose
+// restores natural order so the output is the ordinary DFT.
+package fft
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DefaultFourStepMin is the initial transform length at or above which
+// Transform takes the four-step path. The pinned default is deliberately
+// conservative — above every quick-scale working set — because where the
+// crossover sits (and whether four-step wins at all) is a property of the
+// host: on small-core machines with aggressive prefetchers the radix-2/4
+// kernel's sequential strides stay ahead of the transposes well past 2^22.
+// The autotuner measures the real crossover and moves the threshold down
+// (or disables the path) per host.
+const DefaultFourStepMin = 1 << 22
+
+// fourStepFloor is the hard lower bound: below it the decomposition has no
+// cache effect to exploit and the extra transposes only cost.
+const fourStepFloor = 1 << 12
+
+// FourStepDisabled is the threshold value that keeps every in-memory
+// transform on the radix-2/4 kernel.
+const FourStepDisabled = math.MaxInt32
+
+// transposeBlock is the square tile edge of the blocked transposes: 64
+// complex128s per row = 1 KB, so a src+dst tile pair stays well inside L2.
+const transposeBlock = 64
+
+var fourStepMin atomic.Int64
+
+func init() { fourStepMin.Store(DefaultFourStepMin) }
+
+// FourStepMin returns the transform length at or above which Transform uses
+// the four-step decomposition.
+func FourStepMin() int { return int(fourStepMin.Load()) }
+
+// SetFourStepMin changes the four-step threshold. Values below the built-in
+// floor are clamped up to it ("as early as possible"); pass FourStepDisabled
+// to force the radix-2/4 kernel at every size. Safe to call concurrently
+// with running transforms: each transform reads the threshold once when it
+// starts, so the choice never changes mid-transform — and both kernels
+// compute bit-identical counts, so flipping it never changes mining results.
+func SetFourStepMin(n int) {
+	if n < fourStepFloor {
+		n = fourStepFloor
+	}
+	fourStepMin.Store(int64(n))
+}
+
+// useFourStep reports whether this plan's transforms take the four-step
+// path. The decision depends only on the plan size and the global threshold,
+// never on the worker count.
+func (p *Plan) useFourStep() bool {
+	return p.n >= fourStepFloor && int64(p.n) >= fourStepMin.Load()
+}
+
+// transformFourStep runs the five-phase decomposition over x with pooled
+// scratch. Work is partitioned by matrix row (or transpose tile row), and
+// each row's operations are independent of the partitioning, so every worker
+// count produces bit-identical output. Inverse scaling is NOT applied here:
+// the sub-transforms run raw (unscaled) on the inverse table and Transform's
+// common tail applies the single 1/n, exactly as on the radix-2 path.
+func (p *Plan) transformFourStep(x []complex128, inverse bool, workers int) {
+	n := p.n
+	n1 := 1 << (uint(log2(n)) / 2)
+	n2 := n / n1
+	p1, p2 := p.subPlan(n1), p.subPlan(n2)
+	tw, tw1, tw2 := p.twf, p1.twf, p2.twf
+	if inverse {
+		tw, tw1, tw2 = p.twi, p1.twi, p2.twi
+	}
+	half := n / 2
+	sp := p.scratch()
+	s := *sp
+	if workers > 1 {
+		// Phase 1: transpose x (n1×n2) into s (n2×n1), tiled by row range.
+		parallelRange(workers, func(w int) {
+			transposeRange(s, x, n1, n2, n1*w/workers, n1*(w+1)/workers)
+		})
+		// Phase 2: length-n1 transform of each of the n2 rows of s (the
+		// original columns), fused with the twiddle multiply.
+		parallelRange(workers, func(w int) {
+			fourStepColumns(s, p1, tw, tw1, n1, half, n2*w/workers, n2*(w+1)/workers)
+		})
+		// Phase 3: transpose back so each length-n2 transform is contiguous.
+		parallelRange(workers, func(w int) {
+			transposeRange(x, s, n2, n1, n2*w/workers, n2*(w+1)/workers)
+		})
+		// Phase 4: length-n2 transform of each of the n1 rows of x.
+		parallelRange(workers, func(w int) {
+			fourStepRows(x, p2, tw2, n2, n1*w/workers, n1*(w+1)/workers)
+		})
+		// Phase 5: final transpose to natural order, then copy back.
+		parallelRange(workers, func(w int) {
+			transposeRange(s, x, n1, n2, n1*w/workers, n1*(w+1)/workers)
+		})
+		parallelRange(workers, func(w int) {
+			copy(x[n*w/workers:n*(w+1)/workers], s[n*w/workers:n*(w+1)/workers])
+		})
+	} else {
+		transposeRange(s, x, n1, n2, 0, n1)
+		fourStepColumns(s, p1, tw, tw1, n1, half, 0, n2)
+		transposeRange(x, s, n2, n1, 0, n2)
+		fourStepRows(x, p2, tw2, n2, 0, n1)
+		transposeRange(s, x, n1, n2, 0, n1)
+		copy(x, s)
+	}
+	p.release(sp)
+}
+
+// transposeRange transposes rows r0..r1 of the rows×cols matrix src into
+// dst (cols×rows), in square tiles so one src tile row and one dst tile
+// column stay cache-resident together.
+//
+//opvet:noalloc
+func transposeRange(dst, src []complex128, rows, cols, r0, r1 int) {
+	for rb := r0; rb < r1; rb += transposeBlock {
+		rhi := min(rb+transposeBlock, r1)
+		for cb := 0; cb < cols; cb += transposeBlock {
+			chi := min(cb+transposeBlock, cols)
+			for r := rb; r < rhi; r++ {
+				base := r * cols
+				for c := cb; c < chi; c++ {
+					dst[c*rows+r] = src[base+c]
+				}
+			}
+		}
+	}
+}
+
+// fourStepColumns transforms rows r0..r1 of the n2×n1 matrix s (each row is
+// one column of the original view) with the length-n1 sub-plan, then
+// multiplies element k1 of row j2 by the inter-phase twiddle w^(k1·j2),
+// where w = exp(∓2πi/n). The exponent e = k1·j2 < n indexes the full-size
+// table directly: tw[half+e] for e < half, and −tw[e] above (the table's
+// second half-period), so no root is recomputed.
+//
+//opvet:noalloc
+func fourStepColumns(s []complex128, p1 *Plan, tw, tw1 []complex128, n1, half int, r0, r1 int) {
+	for j2 := r0; j2 < r1; j2++ {
+		row := s[j2*n1 : (j2+1)*n1]
+		applySwaps(row, p1.swaps)
+		runStages(row, tw1, 0, n1, n1)
+		if j2 == 0 {
+			continue
+		}
+		for k1 := 1; k1 < n1; k1++ {
+			e := k1 * j2
+			if e < half {
+				row[k1] *= tw[half+e]
+			} else {
+				row[k1] *= -tw[e]
+			}
+		}
+	}
+}
+
+// fourStepRows transforms rows r0..r1 of the n1×n2 matrix x with the
+// length-n2 sub-plan.
+//
+//opvet:noalloc
+func fourStepRows(x []complex128, p2 *Plan, tw2 []complex128, n2 int, r0, r1 int) {
+	for k1 := r0; k1 < r1; k1++ {
+		row := x[k1*n2 : (k1+1)*n2]
+		applySwaps(row, p2.swaps)
+		runStages(row, tw2, 0, n2, n2)
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"periodica/internal/obs"
 )
 
 // DefaultParallelThreshold is the initial parallelism threshold: the
@@ -45,15 +47,42 @@ func SetParallelThreshold(n int) { parallelThreshold.Store(int64(n)) }
 const minParallelChunk = 1 << 12
 
 // Plan holds the precomputed tables for transforms of one fixed power-of-two
-// size. Plans are immutable after construction and safe for concurrent use:
-// the transform methods touch only the caller's slice and pooled scratch.
+// size. A plan's tables are immutable after construction and the plan is safe
+// for concurrent use: the transform methods touch only the caller's slice and
+// pooled scratch, and the lazily built sub-plans (the half-size plan behind
+// the real-input kernel, the row/column plans behind the four-step
+// decomposition) are created once under subMu and immutable afterwards.
 type Plan struct {
 	n     int
 	swaps []int32      // flattened (i, j) pairs of the bit-reversal permutation, i < j
 	twf   []complex128 // twf[half+k] = exp(-2πi·k/size), size = 2·half (forward)
 	twi   []complex128 // conjugate table for inverse transforms
 	pool  sync.Pool    // scratch []complex128 of length n
+
+	subMu sync.Mutex
+	subs  map[int]*Plan // lazily built sub-plans, keyed by size
 }
+
+// subPlan returns (building on first use) the plan for sub-transforms of
+// length n. The real-input kernel uses the half-size plan; the four-step
+// decomposition uses the row and column plans.
+func (p *Plan) subPlan(n int) *Plan {
+	p.subMu.Lock()
+	defer p.subMu.Unlock()
+	if p.subs == nil {
+		p.subs = map[int]*Plan{}
+	}
+	sp := p.subs[n]
+	if sp == nil {
+		sp = NewPlan(n)
+		p.subs[n] = sp
+	}
+	return sp
+}
+
+// halfPlan returns the plan for the half-size complex transforms behind the
+// real-input kernel.
+func (p *Plan) halfPlan() *Plan { return p.subPlan(p.n / 2) }
 
 // NewPlan builds a plan for transforms of length n (a power of two).
 // Most callers should use PlanFor, which caches plans by size.
@@ -200,11 +229,17 @@ func (p *Plan) Transform(x []complex128, inverse bool, workers int) {
 	if inverse {
 		tw = p.twi
 	}
-	if workers > 1 && n/workers >= minParallelChunk {
-		p.transformParallel(x, tw, workers)
+	if p.useFourStep() {
+		obs.FFT().KernelFourStep.Inc()
+		p.transformFourStep(x, inverse, workers)
 	} else {
-		applySwaps(x, p.swaps)
-		runStages(x, tw, 0, n, n)
+		obs.FFT().KernelRadix2.Inc()
+		if workers > 1 && n/workers >= minParallelChunk {
+			p.transformParallel(x, tw, workers)
+		} else {
+			applySwaps(x, p.swaps)
+			runStages(x, tw, 0, n, n)
+		}
 	}
 	if inverse {
 		inv := 1 / float64(n)
@@ -237,41 +272,62 @@ func applySwaps(x []complex128, swaps []int32) {
 //
 //opvet:noalloc
 func runStages(x []complex128, tw []complex128, lo, hi, maxSize int) {
-	if maxSize >= 4 {
-		// tw[3] = exp(∓2πi/4) = ∓i distinguishes forward from inverse.
-		inverse := imag(tw[3]) > 0
-		for i := lo; i < hi; i += 4 {
-			a, b, c, d := x[i], x[i+1], x[i+2], x[i+3]
-			t0, t1 := a+b, a-b
-			t2, t3 := c+d, c-d
-			// Stage-4 twiddle for the odd lane is ∓i; multiply without a
-			// complex multiplication.
-			var r3 complex128
-			if inverse {
-				r3 = complex(-imag(t3), real(t3)) // i·t3
-			} else {
-				r3 = complex(imag(t3), -real(t3)) // −i·t3
-			}
-			x[i], x[i+2] = t0+t2, t0-t2
-			x[i+1], x[i+3] = t1+r3, t1-r3
-		}
-	} else {
+	if !stageHead(x, tw, lo, hi, maxSize) {
+		return
+	}
+	for size := 8; size <= maxSize; size <<= 2 {
+		stageGroup(x, tw, lo, hi, maxSize, size)
+	}
+}
+
+// stageHead runs the first butterfly stages — the fused radix-4 pass when
+// maxSize ≥ 4 (its twiddles are ±1, ±i — no multiplications), or the single
+// no-twiddle size-2 stage when maxSize == 2. It reports whether later stages
+// remain (false exactly when maxSize == 2). Split from runStages so batched
+// transforms can interleave buffers at stage granularity.
+//
+//opvet:noalloc
+func stageHead(x []complex128, tw []complex128, lo, hi, maxSize int) bool {
+	if maxSize < 4 {
 		// maxSize == 2: a single no-twiddle stage.
 		for i := lo; i < hi; i += 2 {
 			a, b := x[i], x[i+1]
 			x[i], x[i+1] = a+b, a-b
 		}
-		return
+		return false
 	}
-	for size := 8; size <= maxSize; size <<= 2 {
-		if 2*size <= maxSize {
-			fusedStagePair(x, tw, lo, hi, size)
+	// tw[3] = exp(∓2πi/4) = ∓i distinguishes forward from inverse.
+	inverse := imag(tw[3]) > 0
+	for i := lo; i < hi; i += 4 {
+		a, b, c, d := x[i], x[i+1], x[i+2], x[i+3]
+		t0, t1 := a+b, a-b
+		t2, t3 := c+d, c-d
+		// Stage-4 twiddle for the odd lane is ∓i; multiply without a
+		// complex multiplication.
+		var r3 complex128
+		if inverse {
+			r3 = complex(-imag(t3), real(t3)) // i·t3
 		} else {
-			half := size >> 1
-			t := tw[half:size]
-			for start := lo; start < hi; start += size {
-				butterflies(x[start:start+size], t, 0, half)
-			}
+			r3 = complex(imag(t3), -real(t3)) // −i·t3
+		}
+		x[i], x[i+2] = t0+t2, t0-t2
+		x[i+1], x[i+3] = t1+r3, t1-r3
+	}
+	return true
+}
+
+// stageGroup runs the stage of the given size — fused with the next stage
+// when both fit under maxSize — matching one iteration of runStages' loop.
+//
+//opvet:noalloc
+func stageGroup(x []complex128, tw []complex128, lo, hi, maxSize, size int) {
+	if 2*size <= maxSize {
+		fusedStagePair(x, tw, lo, hi, size)
+	} else {
+		half := size >> 1
+		t := tw[half:size]
+		for start := lo; start < hi; start += size {
+			butterflies(x[start:start+size], t, 0, half)
 		}
 	}
 }
@@ -423,6 +479,11 @@ func (p *Plan) crossCorrelateInto(a, b []float64, out []float64) {
 		panic(fmt.Sprintf("fft: plan size %d too small for correlation of %d+%d", p.n, len(a), len(b)))
 	}
 	w := p.autoWorkers()
+	if p.useReal(KernelAuto) {
+		obs.FFT().KernelReal.Inc()
+		p.crossCorrelateReal(a, b, out, w)
+		return
+	}
 	fap := p.scratch()
 	fa := *fap
 	loadPadded(fa, a)
@@ -468,12 +529,27 @@ func (p *Plan) AutocorrelateCounts(x []float64) []int64 {
 //
 //opvet:noalloc
 func (p *Plan) AutocorrelateCountsInto(x []float64, out []int64, workers int) []int64 {
+	return p.AutocorrelateCountsKernelInto(x, out, workers, KernelAuto)
+}
+
+// AutocorrelateCountsKernelInto is AutocorrelateCountsInto with an explicit
+// kernel choice. The kernels produce byte-identical counts (the raw spectra
+// differ only far below the 0.5 rounding margin ValidateCountPrecision
+// checks); forcing one exists for benchmarks and equality tests.
+//
+//opvet:noalloc
+func (p *Plan) AutocorrelateCountsKernelInto(x []float64, out []int64, workers int, kernel Kernel) []int64 {
 	if 2*len(x) > p.n {
 		panic(fmt.Sprintf("fft: plan size %d too small for autocorrelation of %d", p.n, len(x)))
 	}
 	w := workers
 	if w <= 0 {
 		w = p.autoWorkers()
+	}
+	if p.useReal(kernel) {
+		obs.FFT().KernelReal.Inc()
+		p.autocorrRealInto(x, out, w)
+		return out[:len(x)]
 	}
 	fap := p.scratch()
 	fa := *fap
@@ -513,6 +589,14 @@ func (p *Plan) AutocorrelateCountsPair(x1, x2 []float64) ([]int64, []int64) {
 //
 //opvet:noalloc
 func (p *Plan) AutocorrelateCountsPairInto(x1, x2 []float64, out1, out2 []int64, workers int) {
+	p.AutocorrelateCountsPairKernelInto(x1, x2, out1, out2, workers, KernelAuto)
+}
+
+// AutocorrelateCountsPairKernelInto is AutocorrelateCountsPairInto with an
+// explicit kernel choice (see AutocorrelateCountsKernelInto).
+//
+//opvet:noalloc
+func (p *Plan) AutocorrelateCountsPairKernelInto(x1, x2 []float64, out1, out2 []int64, workers int, kernel Kernel) {
 	n := len(x1)
 	if len(x2) != n {
 		panic(fmt.Sprintf("fft: pair length mismatch %d vs %d", n, len(x2)))
@@ -522,6 +606,11 @@ func (p *Plan) AutocorrelateCountsPairInto(x1, x2 []float64, out1, out2 []int64,
 	}
 	if workers <= 0 {
 		workers = p.autoWorkers()
+	}
+	if p.useReal(kernel) {
+		obs.FFT().KernelReal.Inc()
+		p.autocorrRealPairInto(x1, x2, out1, out2, workers)
+		return
 	}
 	specp := p.pairSpectrum(x1, x2, workers)
 	spec := *specp

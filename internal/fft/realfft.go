@@ -1,0 +1,318 @@
+// Real-input FFT kernel. The per-symbol indicator sequences the miner
+// correlates are real, so the full complex transform wastes half its work on
+// an imaginary part that is identically zero. The standard remedy packs the
+// even/odd samples of a length-m real sequence into a length-h = m/2 complex
+// vector, runs one half-size complex transform, and recovers the true
+// spectrum with an O(h) split post-pass — halving both the transform size
+// and the pooled scratch. The half spectrum is stored packed in h slots:
+// spec[k] = X(k) for 1 ≤ k < h, and spec[0] = (X(0), X(h)) — both real for
+// real input — so every buffer the kernel touches is a pool-sized length-h
+// slice. The upper half of the spectrum is implied by X(m−k) = conj(X(k)).
+package fft
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel selects the transform kernel behind the correlation and count entry
+// points. The kernels are interchangeable: counts are byte-identical because
+// the raw spectra agree far within the 0.5 rounding margin.
+type Kernel uint8
+
+const (
+	// KernelAuto picks the real-input kernel when the plan is large enough
+	// for the split post-pass to pay for itself, else the complex kernel.
+	KernelAuto Kernel = iota
+	// KernelComplex forces the full-size complex transform path.
+	KernelComplex
+	// KernelReal forces the half-size real-input kernel.
+	KernelReal
+)
+
+// realKernelMin is the plan size at or above which KernelAuto takes the
+// real-input path; below it the O(h) post-pass overhead rivals the transform.
+const realKernelMin = 32
+
+// useReal reports whether the kernel choice resolves to the real-input path
+// for this plan. The decision depends only on the plan size — never on the
+// worker count — so any worker count yields bit-identical results.
+func (p *Plan) useReal(k Kernel) bool {
+	switch k {
+	case KernelComplex:
+		return false
+	case KernelReal:
+		return p.n >= 4 // the packed layout needs h = n/2 ≥ 2
+	default:
+		return p.n >= realKernelMin
+	}
+}
+
+// packReal packs x into even/odd pairs, z[j] = (x[2j], x[2j+1]), zero-padding
+// the tail of z.
+//
+//opvet:noalloc
+func packReal(z []complex128, x []float64) {
+	nx := len(x)
+	j := 0
+	for ; 2*j+1 < nx; j++ {
+		z[j] = complex(x[2*j], x[2*j+1])
+	}
+	if 2*j < nx {
+		z[j] = complex(x[2*j], 0)
+		j++
+	}
+	clear(z[j:])
+}
+
+// unpackReal writes the real sequence back out of the packed complex vector:
+// x[2j] = Re z[j], x[2j+1] = Im z[j], for the prefix len(x) ≤ 2·len(z).
+//
+//opvet:noalloc
+func unpackReal(x []float64, z []complex128) {
+	n := len(x)
+	for j := 0; 2*j < n; j++ {
+		x[2*j] = real(z[j])
+		if 2*j+1 < n {
+			x[2*j+1] = imag(z[j])
+		}
+	}
+}
+
+// forwardRealPost converts the half-size transform Z of the packed sequence
+// into the packed half spectrum, in place. With E(k), O(k) the DFTs of the
+// even and odd samples, Z(k) = E(k) + i·O(k) and the Hermitian symmetry of
+// both gives, over (k, h−k) pairs,
+//
+//	E = (Z(k) + conj(Z(h−k)))/2,  O = (Z(k) − conj(Z(h−k)))/(2i),
+//	X(k) = E + w^k·O,  X(h−k) = conj(E − w^k·O),  w = exp(−2πi/m),
+//
+// with the self-paired slots k = 0 (→ packed (X(0), X(h))) and k = h/2
+// (→ conj) handled directly. tw is the plan's forward table: tw[h+k] = w^k.
+//
+//opvet:noalloc
+func forwardRealPost(z []complex128, tw []complex128) {
+	h := len(z)
+	z0 := z[0]
+	z[0] = complex(real(z0)+imag(z0), real(z0)-imag(z0))
+	zm := z[h/2]
+	z[h/2] = complex(real(zm), -imag(zm))
+	for k := 1; 2*k < h; k++ {
+		zk, zhk := z[k], z[h-k]
+		c := complex(real(zhk), -imag(zhk))
+		e := (zk + c) * 0.5
+		d := zk - c
+		o := complex(imag(d)*0.5, -real(d)*0.5) // d/(2i)
+		wo := tw[h+k] * o
+		a := e + wo
+		b := e - wo
+		z[k] = a
+		z[h-k] = complex(real(b), -imag(b))
+	}
+}
+
+// inverseRealPre converts a packed half spectrum into the half-size complex
+// vector whose inverse transform is the packed real sequence — the exact
+// algebraic inverse of forwardRealPost, using the inverse table ti
+// (ti[h+k] = w^{−k}) for the untwiddle. The half-size inverse transform's
+// built-in 1/h scaling is precisely the factor the length-m real inverse
+// needs; no extra scaling applies.
+//
+//opvet:noalloc
+func inverseRealPre(z []complex128, ti []complex128) {
+	h := len(z)
+	z0 := z[0] // packed (X(0), X(h)), both real
+	z[0] = complex((real(z0)+imag(z0))*0.5, (real(z0)-imag(z0))*0.5)
+	zm := z[h/2]
+	z[h/2] = complex(real(zm), -imag(zm))
+	for k := 1; 2*k < h; k++ {
+		xk, xhk := z[k], z[h-k]
+		c := complex(real(xhk), -imag(xhk))
+		e := (xk + c) * 0.5
+		d := (xk - c) * 0.5
+		o := ti[h+k] * d
+		// Z(k) = E + i·O, Z(h−k) = conj(E) + i·conj(O).
+		z[k] = complex(real(e)-imag(o), imag(e)+real(o))
+		z[h-k] = complex(real(e)+imag(o), -imag(e)+real(o))
+	}
+}
+
+// autocorrSpectrumReal fuses forwardRealPost, the power spectrum |X|², and
+// inverseRealPre into one O(h) pass: z arrives as the half-size forward
+// transform of the packed sequence and leaves ready for the half-size
+// inverse transform, whose output unpacks to the raw autocorrelation. The
+// power spectrum is real and symmetric (P(m−k) = P(k)), so with
+// ep = (P(k)+P(h−k))/2 and dd = (P(k)−P(h−k))/2 the pre-passed value is
+// Z(k) = ep + i·w^{−k}·dd and Z(h−k) = ep + i·w^k·dd.
+//
+//opvet:noalloc
+func autocorrSpectrumReal(z []complex128, tw []complex128) {
+	h := len(z)
+	z0 := z[0]
+	x0 := real(z0) + imag(z0)
+	xh := real(z0) - imag(z0)
+	p0, ph := x0*x0, xh*xh
+	z[0] = complex((p0+ph)*0.5, (p0-ph)*0.5)
+	zm := z[h/2]
+	z[h/2] = complex(real(zm)*real(zm)+imag(zm)*imag(zm), 0)
+	for k := 1; 2*k < h; k++ {
+		zk, zhk := z[k], z[h-k]
+		c := complex(real(zhk), -imag(zhk))
+		e := (zk + c) * 0.5
+		d := zk - c
+		o := complex(imag(d)*0.5, -real(d)*0.5)
+		w := tw[h+k]
+		wo := w * o
+		a := e + wo
+		b := e - wo
+		pk := real(a)*real(a) + imag(a)*imag(a)
+		phk := real(b)*real(b) + imag(b)*imag(b)
+		ep := (pk + phk) * 0.5
+		dd := (pk - phk) * 0.5
+		z[k] = complex(ep+imag(w)*dd, real(w)*dd)
+		z[h-k] = complex(ep-imag(w)*dd, real(w)*dd)
+	}
+}
+
+// ForwardReal computes the DFT of the real sequence x (len(x) ≤ Size,
+// zero-padded) and writes the packed half spectrum into spec, which must
+// have length Size/2: spec[k] = X(k) for 1 ≤ k < Size/2, and spec[0] packs
+// (X(0), X(Size/2)). X(Size−k) = conj(X(k)) supplies the upper half.
+func (p *Plan) ForwardReal(x []float64, spec []complex128) {
+	p.ForwardRealWorkers(x, spec, p.autoWorkers())
+}
+
+// ForwardRealWorkers is ForwardReal with an explicit worker count.
+//
+//opvet:noalloc
+func (p *Plan) ForwardRealWorkers(x []float64, spec []complex128, workers int) {
+	p.checkReal(len(x), len(spec))
+	packReal(spec, x)
+	p.halfPlan().Transform(spec, false, workers)
+	forwardRealPost(spec, p.twf)
+}
+
+// InverseReal recovers the real sequence from a packed half spectrum (the
+// ForwardReal layout), writing the first len(x) ≤ Size samples into x. spec
+// is consumed: the transform runs in place through it as scratch.
+func (p *Plan) InverseReal(spec []complex128, x []float64) {
+	p.InverseRealWorkers(spec, x, p.autoWorkers())
+}
+
+// InverseRealWorkers is InverseReal with an explicit worker count.
+//
+//opvet:noalloc
+func (p *Plan) InverseRealWorkers(spec []complex128, x []float64, workers int) {
+	p.checkReal(len(x), len(spec))
+	inverseRealPre(spec, p.twi)
+	p.halfPlan().Transform(spec, true, workers)
+	unpackReal(x, spec)
+}
+
+// checkReal validates a real-kernel call: the plan must be large enough for
+// the packed layout (Size ≥ 4), the sequence must fit, and the spectrum
+// buffer must be exactly the packed half length.
+func (p *Plan) checkReal(nx, nspec int) int {
+	h := p.n / 2
+	if h < 2 {
+		panic(fmt.Sprintf("fft: plan size %d too small for the real-input kernel (need ≥ 4)", p.n))
+	}
+	if nx > p.n {
+		panic(fmt.Sprintf("fft: plan size %d, real input length %d", p.n, nx))
+	}
+	if nspec != h {
+		panic(fmt.Sprintf("fft: packed spectrum length %d, want %d", nspec, h))
+	}
+	return h
+}
+
+// autocorrRealInto computes rounded autocorrelation counts through the
+// real-input kernel: pack, half-size forward, fused spectral pass, half-size
+// inverse, round. Everything runs in one pooled half-size buffer.
+//
+//opvet:noalloc
+func (p *Plan) autocorrRealInto(x []float64, out []int64, workers int) {
+	q := p.halfPlan()
+	zp := q.scratch()
+	z := *zp
+	packReal(z, x)
+	q.Transform(z, false, workers)
+	autocorrSpectrumReal(z, p.twf)
+	q.Transform(z, true, workers)
+	n := len(x)
+	for j := 0; 2*j < n; j++ {
+		out[2*j] = int64(math.Round(real(z[j])))
+		if 2*j+1 < n {
+			out[2*j+1] = int64(math.Round(imag(z[j])))
+		}
+	}
+	q.release(zp)
+}
+
+// autocorrRealPairInto runs two same-length autocorrelations through the
+// real-input kernel, sharing the half plan's swap and twiddle passes: the
+// serial path interleaves the two buffers stage by stage (one table walk
+// while the entries are hot), the parallel path splits each transform's
+// butterflies across the workers. Either way each buffer sees exactly the
+// operations of the single-input path, so results are bit-identical.
+//
+//opvet:noalloc
+func (p *Plan) autocorrRealPairInto(x1, x2 []float64, out1, out2 []int64, workers int) {
+	q := p.halfPlan()
+	z1p, z2p := q.scratch(), q.scratch()
+	z1, z2 := *z1p, *z2p
+	packReal(z1, x1)
+	packReal(z2, x2)
+	q.transformPair(z1, z2, false, workers)
+	autocorrSpectrumReal(z1, p.twf)
+	autocorrSpectrumReal(z2, p.twf)
+	q.transformPair(z1, z2, true, workers)
+	n := len(x1)
+	for j := 0; 2*j < n; j++ {
+		out1[2*j] = int64(math.Round(real(z1[j])))
+		out2[2*j] = int64(math.Round(real(z2[j])))
+		if 2*j+1 < n {
+			out1[2*j+1] = int64(math.Round(imag(z1[j])))
+			out2[2*j+1] = int64(math.Round(imag(z2[j])))
+		}
+	}
+	q.release(z1p)
+	q.release(z2p)
+}
+
+// crossCorrelateReal is the real-input path of crossCorrelateInto: forward
+// both sequences through the packed half spectrum, multiply conj(A)·B
+// Hermitian-wise (slot 0 multiplies the packed DC and Nyquist terms
+// pointwise — both spectra are real there), and invert.
+//
+//opvet:noalloc
+func (p *Plan) crossCorrelateReal(a, b []float64, out []float64, workers int) {
+	q := p.halfPlan()
+	h := p.n / 2
+	zap := q.scratch()
+	za := *zap
+	if sameSlice(a, b) {
+		packReal(za, a)
+		q.Transform(za, false, workers)
+		autocorrSpectrumReal(za, p.twf)
+		q.Transform(za, true, workers)
+	} else {
+		zbp := q.scratch()
+		zb := *zbp
+		packReal(za, a)
+		packReal(zb, b)
+		q.transformPair(za, zb, false, workers)
+		forwardRealPost(za, p.twf)
+		forwardRealPost(zb, p.twf)
+		a0, b0 := za[0], zb[0]
+		za[0] = complex(real(a0)*real(b0), imag(a0)*imag(b0))
+		for k := 1; k < h; k++ {
+			za[k] = complex(real(za[k]), -imag(za[k])) * zb[k]
+		}
+		q.release(zbp)
+		inverseRealPre(za, p.twi)
+		q.Transform(za, true, workers)
+	}
+	unpackReal(out, za)
+	q.release(zap)
+}

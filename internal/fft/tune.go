@@ -1,0 +1,304 @@
+// Startup autotuner. Three crossovers govern the convolution hot path — the
+// series length where the FFT engine overtakes the quadratic scan
+// (core.resolveEngine's pinned 4096), the transform length where splitting
+// butterflies across goroutines pays (ParallelThreshold), and the length
+// where the cache-blocked four-step kernel beats the fused radix-2/4 kernel
+// (FourStepMin) — and all three are properties of the host, not the program.
+// Autotune measures them with a short calibration sweep and returns a
+// TunedProfile; ApplyTuned installs it, Save/LoadTuned persist it as JSON so
+// long-lived deployments calibrate once (honoring PERIODICA_TUNE_FILE), and
+// ResetTuned restores the pinned defaults. Every knob only moves a
+// crossover between kernels that compute byte-identical counts, so a tuned
+// and an untuned process mine byte-identical results.
+package fft
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"periodica/internal/obs"
+)
+
+// TuneFileEnv names the environment variable holding the path of a tuned
+// profile JSON to load at startup (see LoadTunedFromEnv).
+const TuneFileEnv = "PERIODICA_TUNE_FILE"
+
+// TunedProfile is the persisted result of one calibration sweep. Zero-valued
+// thresholds mean "keep the built-in default" — a profile from an older
+// build stays applicable when a knob it does not know about is added.
+type TunedProfile struct {
+	// Host and CreatedAt identify where and when the sweep ran; profiles are
+	// per-host measurements and should not travel between machines.
+	Host      string `json:"host,omitempty"`
+	CreatedAt string `json:"createdAt,omitempty"`
+	// GoMaxProcs is the parallelism the sweep saw; a profile measured at a
+	// different GOMAXPROCS may misplace the parallel crossover.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// CalibrationSecs is how long the sweep actually took.
+	CalibrationSecs float64 `json:"calibrationSecs"`
+	// EngineCrossover is the series length at or above which EngineAuto
+	// resolves to the FFT engine (core.resolveEngine's pinned 4096 when 0).
+	EngineCrossover int `json:"engineCrossover"`
+	// ParallelThreshold is the transform length at or above which butterfly
+	// stages split across goroutines.
+	ParallelThreshold int `json:"parallelThreshold"`
+	// FourStepMin is the transform length at or above which the four-step
+	// kernel replaces the fused radix-2/4 kernel.
+	FourStepMin int `json:"fourStepMin"`
+	// Source records provenance: "autotune" for a fresh sweep, the file path
+	// for a loaded profile, "" for the untuned defaults. Not persisted.
+	Source string `json:"-"`
+}
+
+// tunedProfile holds the currently applied profile (nil when untuned).
+var tunedProfile atomic.Pointer[TunedProfile]
+
+// Tuned returns the currently applied profile, or nil if the process runs on
+// the built-in defaults.
+func Tuned() *TunedProfile { return tunedProfile.Load() }
+
+// TunedEngineCrossover returns the tuned Naive/FFT series-length crossover,
+// or 0 when untuned (callers fall back to their pinned default).
+func TunedEngineCrossover() int {
+	if p := tunedProfile.Load(); p != nil && p.EngineCrossover > 0 {
+		return p.EngineCrossover
+	}
+	return 0
+}
+
+// ApplyTuned installs the profile's thresholds (zero fields keep the current
+// value) and records it as the active profile.
+func ApplyTuned(p *TunedProfile) {
+	if p == nil {
+		return
+	}
+	if p.ParallelThreshold > 0 {
+		SetParallelThreshold(p.ParallelThreshold)
+	}
+	if p.FourStepMin > 0 {
+		SetFourStepMin(p.FourStepMin)
+	}
+	cp := *p
+	tunedProfile.Store(&cp)
+}
+
+// ResetTuned restores the built-in defaults and clears the active profile.
+func ResetTuned() {
+	SetParallelThreshold(DefaultParallelThreshold)
+	fourStepMin.Store(DefaultFourStepMin)
+	tunedProfile.Store(nil)
+}
+
+// Save writes the profile as indented JSON at path.
+func (p *TunedProfile) Save(path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fft: encode tuned profile: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("fft: write tuned profile: %w", err)
+	}
+	return nil
+}
+
+// LoadTuned reads and validates a profile from path without applying it.
+func LoadTuned(path string) (*TunedProfile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fft: read tuned profile: %w", err)
+	}
+	var p TunedProfile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("fft: parse tuned profile %s: %w", path, err)
+	}
+	if p.EngineCrossover < 0 || p.ParallelThreshold < 0 || p.FourStepMin < 0 {
+		return nil, fmt.Errorf("fft: tuned profile %s has negative thresholds", path)
+	}
+	p.Source = path
+	return &p, nil
+}
+
+// LoadTunedFromEnv loads and applies the profile named by PERIODICA_TUNE_FILE.
+// It reports whether a profile was applied; with the variable unset it is a
+// no-op returning (nil, false, nil).
+func LoadTunedFromEnv() (*TunedProfile, bool, error) {
+	path := os.Getenv(TuneFileEnv)
+	if path == "" {
+		return nil, false, nil
+	}
+	p, err := LoadTuned(path)
+	if err != nil {
+		return nil, false, err
+	}
+	ApplyTuned(p)
+	return p, true, nil
+}
+
+// Autotune runs a calibration sweep of roughly the given duration (≤ 0 means
+// the default ~100ms) and returns the measured profile without applying it.
+// The sweep runs real kernels on pooled scratch, so it warms the shared plan
+// cache but changes no tuning state itself.
+func Autotune(budget time.Duration) *TunedProfile {
+	if budget <= 0 {
+		budget = 100 * time.Millisecond
+	}
+	start := time.Now()
+	p := &TunedProfile{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Source:     "autotune",
+	}
+	// Budget split: the four-step sweep touches the largest buffers and gets
+	// the biggest share; the engine crossover extrapolates from small probes.
+	p.FourStepMin = tuneFourStep(start.Add(budget / 2))
+	p.ParallelThreshold = tuneParallel(start.Add(3 * budget / 4))
+	p.EngineCrossover = tuneEngineCrossover(start.Add(budget))
+	p.CalibrationSecs = time.Since(start).Seconds()
+	if host, err := os.Hostname(); err == nil {
+		p.Host = host
+	}
+	p.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	obs.FFT().ObserveAutotune(time.Since(start))
+	return p
+}
+
+// timeKernel measures f's best-of-reps wall time, running at least once and
+// stopping early past the deadline.
+func timeKernel(deadline time.Time, reps int, f func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		f()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	return best
+}
+
+// calInput fills x with a deterministic pseudo-random walk; the kernels are
+// data-oblivious, so any non-trivial fill measures the same arithmetic.
+func calInput(x []complex128) {
+	s := uint64(0x9e3779b97f4a7c15)
+	for i := range x {
+		s = s*6364136223846793005 + 1442695040888963407
+		re := float64(int64(s>>11)) / float64(1<<53)
+		s = s*6364136223846793005 + 1442695040888963407
+		im := float64(int64(s>>11)) / float64(1<<53)
+		x[i] = complex(re, im)
+	}
+}
+
+// tuneFourStep finds the smallest transform length where the four-step
+// kernel beats the serial fused radix-2/4 kernel, returning FourStepDisabled
+// when it never wins inside the sweep range.
+func tuneFourStep(deadline time.Time) int {
+	for size := 1 << 15; size <= 1<<21; size <<= 1 {
+		if time.Now().After(deadline) {
+			break
+		}
+		p := PlanFor(size)
+		bufp := p.scratch()
+		buf := *bufp
+		calInput(buf)
+		radix2 := timeKernel(deadline, 3, func() {
+			applySwaps(buf, p.swaps)
+			runStages(buf, p.twf, 0, size, size)
+		})
+		fourStep := timeKernel(deadline, 3, func() {
+			p.transformFourStep(buf, false, 1)
+		})
+		p.release(bufp)
+		// Require a clear win: a noise-level tie should keep the simpler
+		// kernel rather than flap between profiles across runs.
+		if fourStep < radix2*97/100 {
+			return size
+		}
+	}
+	return FourStepDisabled
+}
+
+// tuneParallel finds the smallest transform length where splitting the
+// butterfly stages across GOMAXPROCS goroutines beats the serial kernel,
+// returning a sentinel above the sweep when parallelism never wins.
+func tuneParallel(deadline time.Time) int {
+	procs := runtime.GOMAXPROCS(0)
+	if procs <= 1 {
+		return 1 << 30 // a single P can only lose to goroutine overhead
+	}
+	for size := 1 << 13; size <= 1<<19; size <<= 1 {
+		if time.Now().After(deadline) {
+			break
+		}
+		p := PlanFor(size)
+		bufp := p.scratch()
+		buf := *bufp
+		calInput(buf)
+		serial := timeKernel(deadline, 3, func() { p.Transform(buf, false, 1) })
+		parallel := timeKernel(deadline, 3, func() { p.Transform(buf, false, procs) })
+		p.release(bufp)
+		if parallel < serial*97/100 {
+			return size
+		}
+	}
+	return 1 << 30
+}
+
+// tuneEngineCrossover finds the series length where the FFT counting path
+// overtakes the naive quadratic scan. Both sides are measured as per-unit
+// costs on small probes and extrapolated: the naive cost grows as n² (n
+// candidate periods × O(n) positions each), the FFT cost as the measured
+// autocorrelation at plan size NextPow2(2n).
+func tuneEngineCrossover(deadline time.Time) int {
+	// Per-comparison cost of the quadratic scan, from one O(n²) probe.
+	const probe = 2048
+	data := make([]uint8, probe)
+	s := uint64(1)
+	for i := range data {
+		s = s*6364136223846793005 + 1442695040888963407
+		data[i] = uint8(s >> 62)
+	}
+	sink := 0
+	naiveProbe := timeKernel(deadline, 3, func() {
+		c := 0
+		for per := 1; per <= probe/2; per++ {
+			for i := 0; i+per < probe; i++ {
+				if data[i] == data[i+per] {
+					c++
+				}
+			}
+		}
+		sink += c
+	})
+	_ = sink
+	comparisons := float64(probe) * float64(probe) * 3 / 8 // Σ_{per≤n/2}(n−per)
+	perCmp := float64(naiveProbe) / comparisons
+
+	// Walk candidate lengths; the first where the measured FFT
+	// autocorrelation beats the extrapolated scan is the crossover.
+	x := make([]float64, 1<<14)
+	for i := range x {
+		x[i] = float64(i & 1)
+	}
+	out := make([]int64, 1<<14)
+	for n := 512; n <= 1<<14; n <<= 1 {
+		if time.Now().After(deadline) {
+			break
+		}
+		p := PlanFor(NextPow2(2 * n))
+		fftCost := timeKernel(deadline, 3, func() {
+			p.AutocorrelateCountsInto(x[:n], out[:n], 1)
+		})
+		naiveCost := time.Duration(perCmp * float64(n) * float64(n) * 3 / 8)
+		if fftCost < naiveCost {
+			return n
+		}
+	}
+	return 1 << 14
+}

@@ -1,0 +1,165 @@
+package fft
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"periodica/internal/obs"
+)
+
+// TestAutotuneProfileRoundTrip runs a real (short) calibration sweep and
+// checks the profile survives Save/LoadTuned and applies cleanly.
+func TestAutotuneProfileRoundTrip(t *testing.T) {
+	defer ResetTuned()
+	before := obs.FFT().AutotuneRuns.Value()
+	p := Autotune(50 * time.Millisecond)
+	if p.EngineCrossover <= 0 || p.ParallelThreshold <= 0 || p.FourStepMin <= 0 {
+		t.Fatalf("sweep produced non-positive thresholds: %+v", p)
+	}
+	if p.CalibrationSecs <= 0 {
+		t.Fatalf("calibration duration not recorded: %+v", p)
+	}
+	if p.Source != "autotune" {
+		t.Fatalf("Source = %q, want autotune", p.Source)
+	}
+	if obs.FFT().AutotuneRuns.Value() != before+1 {
+		t.Fatal("autotune run not counted in obs")
+	}
+	if obs.FFT().AutotuneDuration() <= 0 {
+		t.Fatal("autotune duration not recorded in obs")
+	}
+
+	path := filepath.Join(t.TempDir(), "tune.json")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTuned(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EngineCrossover != p.EngineCrossover ||
+		got.ParallelThreshold != p.ParallelThreshold ||
+		got.FourStepMin != p.FourStepMin ||
+		got.GoMaxProcs != p.GoMaxProcs {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, p)
+	}
+	if got.Source != path {
+		t.Fatalf("loaded Source = %q, want %q", got.Source, path)
+	}
+
+	ApplyTuned(got)
+	if Tuned() == nil {
+		t.Fatal("no active profile after ApplyTuned")
+	}
+	if TunedEngineCrossover() != got.EngineCrossover {
+		t.Fatalf("TunedEngineCrossover = %d, want %d", TunedEngineCrossover(), got.EngineCrossover)
+	}
+	ResetTuned()
+	if Tuned() != nil || TunedEngineCrossover() != 0 {
+		t.Fatal("ResetTuned did not clear the active profile")
+	}
+	if ParallelThreshold() != DefaultParallelThreshold || FourStepMin() != DefaultFourStepMin {
+		t.Fatal("ResetTuned did not restore the default thresholds")
+	}
+}
+
+// TestApplyTunedZeroFieldsKeepDefaults: a partial profile (older build, or a
+// hand-written engine-only file) must leave unknown knobs alone.
+func TestApplyTunedZeroFieldsKeepDefaults(t *testing.T) {
+	defer ResetTuned()
+	ApplyTuned(&TunedProfile{EngineCrossover: 2048})
+	if ParallelThreshold() != DefaultParallelThreshold {
+		t.Fatal("zero ParallelThreshold overwrote the default")
+	}
+	if FourStepMin() != DefaultFourStepMin {
+		t.Fatal("zero FourStepMin overwrote the default")
+	}
+	if TunedEngineCrossover() != 2048 {
+		t.Fatalf("TunedEngineCrossover = %d, want 2048", TunedEngineCrossover())
+	}
+}
+
+func TestSetFourStepMinClampsToFloor(t *testing.T) {
+	defer ResetTuned()
+	SetFourStepMin(1)
+	if FourStepMin() != fourStepFloor {
+		t.Fatalf("FourStepMin = %d, want floor %d", FourStepMin(), fourStepFloor)
+	}
+	SetFourStepMin(FourStepDisabled)
+	if PlanFor(1 << 13).useFourStep() {
+		t.Fatal("FourStepDisabled did not disable the four-step path")
+	}
+}
+
+func TestLoadTunedFromEnv(t *testing.T) {
+	defer ResetTuned()
+	t.Setenv(TuneFileEnv, "")
+	if p, ok, err := LoadTunedFromEnv(); p != nil || ok || err != nil {
+		t.Fatalf("unset env: got (%v, %v, %v), want no-op", p, ok, err)
+	}
+
+	path := filepath.Join(t.TempDir(), "tune.json")
+	want := &TunedProfile{EngineCrossover: 1024, ParallelThreshold: 1 << 15, FourStepMin: 1 << 19}
+	if err := want.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(TuneFileEnv, path)
+	p, ok, err := LoadTunedFromEnv()
+	if err != nil || !ok || p == nil {
+		t.Fatalf("LoadTunedFromEnv: (%v, %v, %v)", p, ok, err)
+	}
+	if TunedEngineCrossover() != 1024 || ParallelThreshold() != 1<<15 || FourStepMin() != 1<<19 {
+		t.Fatal("env profile not applied")
+	}
+}
+
+func TestLoadTunedRejectsBadFiles(t *testing.T) {
+	if _, err := LoadTuned(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file: want error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTuned(bad); err == nil {
+		t.Fatal("malformed JSON: want error")
+	}
+	neg := filepath.Join(t.TempDir(), "neg.json")
+	if err := os.WriteFile(neg, []byte(`{"engineCrossover":-5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTuned(neg); err == nil {
+		t.Fatal("negative threshold: want error")
+	}
+}
+
+// TestTunedCountsBitIdentical is the tuning-safety property at the fft
+// layer: whatever thresholds a profile installs, counts do not change by a
+// single bit.
+func TestTunedCountsBitIdentical(t *testing.T) {
+	defer ResetTuned()
+	n := 1 << 13
+	x := make([]float64, n)
+	for i := 0; i < n; i += 5 {
+		x[i] = 1
+	}
+	p := PlanFor(NextPow2(2 * n))
+	want := make([]int64, n)
+	p.AutocorrelateCountsInto(x, want, 0)
+	got := make([]int64, n)
+	for _, prof := range []*TunedProfile{
+		{EngineCrossover: 512, ParallelThreshold: 1 << 12, FourStepMin: fourStepFloor},
+		{EngineCrossover: 1 << 20, ParallelThreshold: 1 << 30, FourStepMin: FourStepDisabled},
+	} {
+		ApplyTuned(prof)
+		p.AutocorrelateCountsInto(x, got, 0)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("profile %+v lag %d: %d vs %d", prof, i, got[i], want[i])
+			}
+		}
+		ResetTuned()
+	}
+}

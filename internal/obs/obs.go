@@ -224,6 +224,61 @@ func (m *ExecMetrics) renderExec(b *strings.Builder) {
 	}
 }
 
+// FFTMetrics counts kernel executions on the convolution hot path — radix-2/4
+// transforms, four-step transforms, real-input kernel entries, batched
+// (shared-setup) passes — and records autotune calibration runs and the
+// duration of the most recent one. The counters are process-wide (the FFT
+// layer sits far below any registry) and are rendered by every Registry, so
+// the /metrics schema is stable whether or not a kernel has run.
+type FFTMetrics struct {
+	KernelRadix2   Counter
+	KernelFourStep Counter
+	KernelReal     Counter
+	KernelBatch    Counter
+	AutotuneRuns   Counter
+	autotuneNanos  atomic.Int64 // duration of the most recent calibration
+}
+
+var fftMetrics FFTMetrics
+
+// FFT returns the process-wide FFT kernel metrics.
+func FFT() *FFTMetrics { return &fftMetrics }
+
+// ObserveAutotune records one completed calibration sweep.
+func (m *FFTMetrics) ObserveAutotune(d time.Duration) {
+	m.AutotuneRuns.Inc()
+	m.autotuneNanos.Store(int64(d))
+}
+
+// AutotuneDuration returns the duration of the most recent calibration sweep
+// (zero if none has run).
+func (m *FFTMetrics) AutotuneDuration() time.Duration {
+	return time.Duration(m.autotuneNanos.Load())
+}
+
+// renderFFT writes the FFT kernel metrics in exposition format. Every label
+// renders even at zero so scrapes always see the full kernel set.
+func (m *FFTMetrics) renderFFT(b *strings.Builder) {
+	b.WriteString("# TYPE periodica_fft_kernel_total counter\n")
+	for _, k := range []struct {
+		label string
+		c     *Counter
+	}{
+		{"radix2", &m.KernelRadix2},
+		{"fourstep", &m.KernelFourStep},
+		{"real", &m.KernelReal},
+		{"batch", &m.KernelBatch},
+	} {
+		b.WriteString(fmt.Sprintf("periodica_fft_kernel_total{kernel=%q} %d\n",
+			k.label, k.c.Value()))
+	}
+	b.WriteString("# TYPE periodica_fft_autotune_runs_total counter\n")
+	b.WriteString(fmt.Sprintf("periodica_fft_autotune_runs_total %d\n", m.AutotuneRuns.Value()))
+	b.WriteString("# TYPE periodica_fft_autotune_duration_seconds gauge\n")
+	b.WriteString(fmt.Sprintf("periodica_fft_autotune_duration_seconds %s\n",
+		formatSeconds(m.AutotuneDuration())))
+}
+
 // statusClasses label the response-status families tracked per endpoint.
 var statusClasses = [...]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
 
@@ -335,6 +390,7 @@ func (r *Registry) RenderText() string {
 	}
 	recoveryMetrics.renderRecovery(&b)
 	execMetrics.renderExec(&b)
+	fftMetrics.renderFFT(&b)
 	return b.String()
 }
 

@@ -160,6 +160,62 @@ func TestParityAutoEngine(t *testing.T) {
 	}
 }
 
+// TestParityTunedProfile: a tuned profile (fft crossovers measured by
+// Autotune, or loaded via PERIODICA_TUNE_FILE) may move work between
+// kernels and engines but must never change a byte of the mining result —
+// across every entry point, every engine, and any worker count.
+func TestParityTunedProfile(t *testing.T) {
+	defer periodica.ResetTuning()
+	symbols := paritySymbols(5000)
+	opt := periodica.Options{Threshold: 0.6, MinPairs: 3, MaxPatternPeriod: 21}
+
+	periodica.ResetTuning()
+	baseline := mineAllPaths(t, symbols, opt)
+	base := baseline["Mine"]
+	if len(base.Periodicities) == 0 {
+		t.Fatal("tuned-parity fixture detected nothing; the test is vacuous")
+	}
+
+	// A real calibration sweep, persisted and reloaded through the same
+	// file/env path deployments use.
+	tuneFile := t.TempDir() + "/tune.json"
+	if err := periodica.AutotuneToFile(50_000_000 /* 50ms */, tuneFile); err != nil {
+		t.Fatal(err)
+	}
+	tunedResults := mineAllPaths(t, symbols, opt)
+	for path, res := range tunedResults {
+		if !reflect.DeepEqual(base, res) {
+			t.Errorf("%s result differs under the autotuned profile", path)
+		}
+	}
+
+	periodica.ResetTuning()
+	t.Setenv(periodica.TuneFileEnv, tuneFile)
+	if ok, err := periodica.LoadTuneFromEnv(); err != nil || !ok {
+		t.Fatalf("LoadTuneFromEnv: (%v, %v)", ok, err)
+	}
+	s, err := periodica.NewSeries(symbols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := periodica.Mine(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, fromFile) {
+		t.Error("result differs under the profile loaded from PERIODICA_TUNE_FILE")
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := periodica.MineParallel(s, opt, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, par) {
+			t.Errorf("MineParallel(workers=%d) differs under the tuned profile", workers)
+		}
+	}
+}
+
 // countdownCtx is a context whose Err starts returning context.Canceled
 // after a fixed number of polls — deterministic mid-run cancellation,
 // independent of timing.

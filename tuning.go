@@ -1,0 +1,56 @@
+package periodica
+
+import (
+	"time"
+
+	"periodica/internal/fft"
+)
+
+// Per-host performance tuning. Three crossovers govern the mining hot path —
+// where EngineAuto switches from the quadratic scan to the FFT engine, where
+// FFT butterfly stages split across goroutines, and where the cache-blocked
+// four-step FFT kernel takes over from the fused radix-2/4 kernel. The
+// defaults are reasonable pins; Autotune measures the actual crossovers of
+// the host with a short calibration sweep. Tuning is purely a performance
+// knob: every kernel and engine computes byte-identical results, so tuned
+// and untuned processes mine identical periodicities.
+
+// TuneFileEnv is the environment variable naming a tuned-profile JSON file
+// to load at startup (see LoadTuneFromEnv): "PERIODICA_TUNE_FILE".
+const TuneFileEnv = fft.TuneFileEnv
+
+// Autotune runs a calibration sweep of roughly the given duration (≤ 0 means
+// the default ~100ms) and applies the measured thresholds to the process.
+func Autotune(budget time.Duration) {
+	fft.ApplyTuned(fft.Autotune(budget))
+}
+
+// AutotuneToFile is Autotune followed by persisting the measured profile as
+// JSON at path, for later LoadTuneFile / PERIODICA_TUNE_FILE use.
+func AutotuneToFile(budget time.Duration, path string) error {
+	p := fft.Autotune(budget)
+	fft.ApplyTuned(p)
+	return p.Save(path)
+}
+
+// LoadTuneFile loads a profile saved by AutotuneToFile (or the opbench/
+// opminer/opserve -autotune flags) and applies its thresholds.
+func LoadTuneFile(path string) error {
+	p, err := fft.LoadTuned(path)
+	if err != nil {
+		return err
+	}
+	fft.ApplyTuned(p)
+	return nil
+}
+
+// LoadTuneFromEnv applies the profile named by the PERIODICA_TUNE_FILE
+// environment variable, reporting whether one was applied; with the variable
+// unset it is a no-op.
+func LoadTuneFromEnv() (bool, error) {
+	_, ok, err := fft.LoadTunedFromEnv()
+	return ok, err
+}
+
+// ResetTuning restores the built-in default thresholds.
+func ResetTuning() { fft.ResetTuned() }
