@@ -6,7 +6,14 @@
 //
 // Usage:
 //
-//	opvet [-rules rule1,rule2] [-list] [packages]
+//	opvet [-rules rule1,rule2] [-list] [-json file] [-gh] [packages]
+//
+// -json writes one JSON object per diagnostic line to the named file
+// ("-" for stdout, replacing the plain-text form). -gh renders each
+// diagnostic as a GitHub Actions ::error workflow command so findings
+// annotate the offending lines inline on pull requests. The two
+// compose: CI runs with -gh for annotations plus -json for an
+// artifact. Load and rule wall-times go to stderr on every run.
 //
 // The package arguments are accepted for command-line symmetry with go
 // vet but the analyzer always loads the whole module (the mutglobal
@@ -16,11 +23,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"periodica/internal/analysis"
 )
@@ -29,6 +39,8 @@ func main() {
 	var (
 		rulesFlag = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 		list      = flag.Bool("list", false, "list the available rules and exit")
+		jsonOut   = flag.String("json", "", "write diagnostics as JSON lines to this file (\"-\" for stdout)")
+		ghMode    = flag.Bool("gh", false, "render diagnostics as GitHub Actions ::error annotations")
 	)
 	flag.Parse()
 
@@ -58,29 +70,107 @@ func main() {
 		fmt.Fprintf(os.Stderr, "opvet: %v\n", err)
 		os.Exit(2)
 	}
+	loadStart := time.Now()
 	m, err := analysis.LoadModule(root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "opvet: %v\n", err)
 		os.Exit(2)
 	}
+	loadTime := time.Since(loadStart)
+
+	runStart := time.Now()
+	diags := analysis.Run(m, rules)
+	runTime := time.Since(runStart)
+
+	var jsonW io.Writer
+	var jsonFile *os.File
+	if *jsonOut == "-" {
+		jsonW = os.Stdout
+	} else if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opvet: %v\n", err)
+			os.Exit(2)
+		}
+		jsonW = f
+		jsonFile = f
+	}
 
 	keep := packageFilter(m, flag.Args())
 	bad := false
-	for _, d := range analysis.Run(m, rules) {
+	for _, d := range diags {
 		if !keep(d.Pos.Filename) {
 			continue
 		}
 		// Print module-relative paths so output is stable across
-		// checkouts.
+		// checkouts (and so GitHub can map annotations onto the diff).
 		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			d.Pos.Filename = rel
 		}
-		fmt.Println(d)
 		bad = true
+		if jsonW != nil {
+			writeJSONLine(jsonW, d)
+		}
+		switch {
+		case *ghMode:
+			fmt.Println(ghAnnotation(d))
+		case jsonW == os.Stdout:
+			// JSON on stdout replaces the plain-text form.
+		default:
+			fmt.Println(d)
+		}
 	}
+	if jsonFile != nil {
+		if err := jsonFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "opvet: closing %s: %v\n", *jsonOut, err)
+			os.Exit(2)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "opvet: %d packages loaded in %v, %d rules in %v\n",
+		len(m.Packages), loadTime.Round(time.Millisecond), len(rules), runTime.Round(time.Millisecond))
 	if bad {
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the stable wire form of a diagnostic: one object per
+// line, flat fields, no nesting — trivially consumable by jq or a
+// GitHub problem matcher.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func writeJSONLine(w io.Writer, d analysis.Diagnostic) {
+	b, err := json.Marshal(jsonDiag{
+		File:    filepath.ToSlash(d.Pos.Filename),
+		Line:    d.Pos.Line,
+		Col:     d.Pos.Column,
+		Rule:    d.Rule,
+		Message: d.Message,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "opvet: encoding diagnostic: %v\n", err)
+		os.Exit(2)
+	}
+	if _, err := w.Write(append(b, '\n')); err != nil {
+		fmt.Fprintf(os.Stderr, "opvet: writing diagnostic: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// ghAnnotation renders a diagnostic as a GitHub Actions workflow
+// command; the runner turns it into an inline PR annotation. Property
+// values additionally need , and : escaped; the message only %, \r, \n.
+func ghAnnotation(d analysis.Diagnostic) string {
+	msg := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	prop := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ",", "%2C", ":", "%3A")
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=opvet %s::%s",
+		prop.Replace(filepath.ToSlash(d.Pos.Filename)), d.Pos.Line, d.Pos.Column,
+		prop.Replace(d.Rule), msg.Replace(d.Rule+": "+d.Message))
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

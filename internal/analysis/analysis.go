@@ -16,8 +16,14 @@
 //
 // Annotation grammar (all comments start with "//opvet:", no space):
 //
-//	//opvet:ignore                 suppress every rule on this line / the next line
-//	//opvet:ignore rule1,rule2     suppress only the named rules
+//	//opvet:ignore rule1,rule2 reason   suppress the named rules on this line /
+//	                               the next line; the trailing reason is
+//	                               mandatory (the ignorereason meta-rule flags
+//	                               bare ignores, unknown rule names, and
+//	                               missing reasons)
+//	//opvet:ignore                 legacy blanket form: still suppresses every
+//	                               rule except ignorereason itself, which
+//	                               reports it
 //	//opvet:noalloc                (FuncDecl doc) function must stay allocation-free
 //	//opvet:racesafe               (var decl doc or line comment) global is safe to
 //	                               read concurrently; mutglobal skips it
@@ -65,6 +71,10 @@ type Module struct {
 	Fset *token.FileSet
 	// Packages is sorted by import path.
 	Packages []*Package
+
+	// funcs caches the per-function CFGs built by Functions().
+	funcs      []*FuncInfo
+	funcsBuilt bool
 }
 
 // Diagnostic is one finding of one rule.
@@ -92,8 +102,13 @@ type Rule interface {
 // Rules returns the default registry, sorted by name.
 func Rules() []Rule {
 	return []Rule{
+		AtomicGuard{},
+		CommitPath{},
+		CtxPoll{},
 		ErrcheckLite{},
 		FloatCmp{},
+		GoroLeak{},
+		IgnoreReason{},
 		MutGlobal{},
 		NoAlloc{},
 		PoolPair{},
@@ -113,18 +128,26 @@ func RuleByName(name string) Rule {
 
 // Run executes the rules over the module, filters the findings through
 // //opvet:ignore suppression, and returns them sorted by position.
+// Rules that additionally implement FlowRule receive every function's
+// CFG after their whole-module pass.
 func Run(m *Module, rules []Rule) []Diagnostic {
 	sup := newSuppressions(m)
 	var diags []Diagnostic
 	for _, r := range rules {
 		name := r.Name()
-		r.Run(m, func(pos token.Pos, format string, args ...any) {
+		report := func(pos token.Pos, format string, args ...any) {
 			p := m.Fset.Position(pos)
 			if sup.suppressed(name, p) {
 				return
 			}
 			diags = append(diags, Diagnostic{Pos: p, Rule: name, Message: fmt.Sprintf(format, args...)})
-		})
+		}
+		r.Run(m, report)
+		if fr, ok := r.(FlowRule); ok {
+			for _, fn := range m.Functions() {
+				fr.RunFunc(fn, report)
+			}
+		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -181,6 +204,12 @@ func newSuppressions(m *Module) *suppressions {
 
 func (s *suppressions) suppressed(rule string, pos token.Position) bool {
 	for _, r := range s.byLine[pos.Filename][pos.Line] {
+		// The ignorereason meta-rule flags defective ignore comments, so a
+		// wildcard ignore must not silence the very finding about itself;
+		// only naming the rule explicitly suppresses it.
+		if r == "*" && rule == "ignorereason" {
+			continue
+		}
 		if r == "*" || r == rule {
 			return true
 		}

@@ -16,24 +16,39 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // goldenCases pairs each rule with its firing fixture and its
 // true-negative fixture. The firing fixtures also carry //opvet:ignore
 // suppressions, so the goldens prove both directions: seeded defects
-// appear, suppressed and clean code stays silent.
+// appear, suppressed and clean code stays silent. loadPath overrides
+// the fixture's import path for rules that key their scope on it
+// (ctxpoll's internal/exec, commitpath's internal/store).
 var goldenCases = []struct {
-	rule    string
-	fixture string
-	clean   bool
+	rule     string
+	fixture  string
+	loadPath string
+	clean    bool
 }{
-	{"floatcmp", "floatcmp", false},
-	{"floatcmp", "floatcmp_clean", true},
-	{"poolpair", "poolpair", false},
-	{"poolpair", "poolpair_clean", true},
-	{"mutglobal", "mutglobal", false},
-	{"mutglobal", "mutglobal_clean", true},
-	{"noalloc", "noalloc", false},
-	{"noalloc", "noalloc_clean", true},
-	{"errcheck-lite", "errcheck", false},
-	{"errcheck-lite", "errcheck_clean", true},
-	{"stagestate", "stagestate", false},
-	{"stagestate", "stagestate_clean", true},
+	{"floatcmp", "floatcmp", "", false},
+	{"floatcmp", "floatcmp_clean", "", true},
+	{"poolpair", "poolpair", "", false},
+	{"poolpair", "poolpair_clean", "", true},
+	{"mutglobal", "mutglobal", "", false},
+	{"mutglobal", "mutglobal_clean", "", true},
+	{"noalloc", "noalloc", "", false},
+	{"noalloc", "noalloc_clean", "", true},
+	{"errcheck-lite", "errcheck", "", false},
+	{"errcheck-lite", "errcheck_clean", "", true},
+	{"stagestate", "stagestate", "", false},
+	{"stagestate", "stagestate_clean", "", true},
+	{"ctxpoll", "ctxpoll", "", false},
+	{"ctxpoll", "ctxpoll_clean", "", true},
+	{"ctxpoll", "execpoll", "fixture/execpoll/internal/exec", false},
+	{"ctxpoll", "execpoll_clean", "fixture/execpoll_clean/internal/exec", true},
+	{"atomicguard", "atomicguard", "", false},
+	{"atomicguard", "atomicguard_clean", "", true},
+	{"commitpath", "commitpath", "fixture/commitpath/internal/store", false},
+	{"commitpath", "commitpath_clean", "fixture/commitpath_clean/internal/store", true},
+	{"goroleak", "goroleak", "", false},
+	{"goroleak", "goroleak_clean", "", true},
+	{"ignorereason", "ignorereason", "", false},
+	{"ignorereason", "ignorereason_clean", "", true},
 }
 
 func TestRuleGoldens(t *testing.T) {
@@ -44,7 +59,11 @@ func TestRuleGoldens(t *testing.T) {
 				t.Fatalf("rule %q not registered", tc.rule)
 			}
 			dir := filepath.Join("testdata", "src", tc.fixture)
-			m, err := analysis.LoadPackageDir(dir, "fixture/"+tc.fixture)
+			loadPath := tc.loadPath
+			if loadPath == "" {
+				loadPath = "fixture/" + tc.fixture
+			}
+			m, err := analysis.LoadPackageDir(dir, loadPath)
 			if err != nil {
 				t.Fatalf("loading %s: %v", dir, err)
 			}
@@ -114,8 +133,8 @@ func TestSuppressionSyntax(t *testing.T) {
 // every rule documents itself.
 func TestRegistry(t *testing.T) {
 	rules := analysis.Rules()
-	if len(rules) != 6 {
-		t.Fatalf("expected 6 rules, got %d", len(rules))
+	if len(rules) != 11 {
+		t.Fatalf("expected 11 rules, got %d", len(rules))
 	}
 	for i, r := range rules {
 		if r.Name() == "" || r.Doc() == "" {

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicGuard enforces the tuning-knob invariant established in PRs 2
+// and 6: package-level tuning/threshold state lives in sync/atomic
+// values (fft.parallelThreshold, fft.fourStepMin, fft.tunedProfile) and
+// is touched only through the atomic API. Any other reference to such a
+// variable defeats the synchronization — copying the value races and
+// copies the internal lock word, and letting its address flow out as a
+// raw pointer invites exactly the unsynchronized access the accessor
+// pair exists to prevent.
+//
+// Per reference to a package-level sync/atomic variable, the rule
+// allows only the receiver position of a method call (v.Load(),
+// v.Store(x), v.Add, v.Swap, v.CompareAndSwap — any method; the atomic
+// types expose nothing unsafe). It flags:
+//
+//   - value copies: x := v, f(v), return v
+//   - raw address escapes: p := &v and any later use of p, found
+//     through reaching definitions (the flow part: the alias is
+//     reported at every use site it reaches, not just where it is
+//     created)
+//   - writes: v = atomic.Int64{} (re-zeroing drops racing updates)
+//
+// The rule is module-wide: it needs no annotation, because the atomic
+// API itself is the sanctioned access path.
+type AtomicGuard struct{}
+
+func (AtomicGuard) Name() string { return "atomicguard" }
+func (AtomicGuard) Doc() string {
+	return "package-level atomic tuning state may only be touched through its atomic method API"
+}
+
+// Run is empty: the whole analysis is per-function.
+func (AtomicGuard) Run(m *Module, report func(pos token.Pos, format string, args ...any)) {}
+
+func (AtomicGuard) RunFunc(fi *FuncInfo, report func(pos token.Pos, format string, args ...any)) {
+	info := fi.Pkg.Info
+	body := fi.Body()
+	if body == nil {
+		return
+	}
+
+	// parents maps each node to its parent inside this function body, so
+	// a use's syntactic role (method receiver vs anything else) is
+	// recoverable. Nested function literals are skipped throughout: each
+	// gets its own RunFunc pass.
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok && len(stack) > 0 {
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	var rd *ReachingDefs // built lazily; most functions touch no atomics
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := atomicGlobal(info, id)
+		if v == nil {
+			return true
+		}
+		switch parent := parents[id].(type) {
+		case *ast.SelectorExpr:
+			if parent.X == id {
+				// v.Method(...) — allowed when the selector is the callee
+				// of a call; v.Load (method value, no call) leaks a bound
+				// method over the raw variable, flag it.
+				if call, ok := parents[parent].(*ast.CallExpr); ok && call.Fun == parent {
+					return true
+				}
+				report(id.Pos(), "method value %s.%s copies atomic tuning global %s out; call it directly instead", v.Name(), parent.Sel.Name, v.Name())
+				return true
+			}
+		case *ast.UnaryExpr:
+			if parent.Op == token.AND {
+				report(id.Pos(), "address of atomic tuning global %s taken; raw pointers bypass its accessor pair", v.Name())
+				// The flow part: report every use the raw pointer reaches.
+				if rd == nil {
+					rd = SolveReachingDefs(fi.CFG, fi.FuncNode(), info)
+				}
+				reportAliasUses(fi, rd, v, parent, info, report)
+				return true
+			}
+		case *ast.ValueSpec, *ast.AssignStmt:
+			if isAssignTarget(parent, id) {
+				report(id.Pos(), "assignment to atomic tuning global %s replaces the whole atomic value; use its Store accessor", v.Name())
+				return true
+			}
+		}
+		report(id.Pos(), "atomic tuning global %s copied by value; go through its Load/Store accessor pair", v.Name())
+		return true
+	})
+}
+
+// atomicGlobal resolves id to a package-level variable of a sync/atomic
+// type, or nil.
+func atomicGlobal(info *types.Info, id *ast.Ident) *types.Var {
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if typePkgPath(v.Type()) != "sync/atomic" {
+		return nil
+	}
+	return v
+}
+
+// isAssignTarget reports whether id appears on the left-hand side of
+// the assignment or value spec.
+func isAssignTarget(parent ast.Node, id *ast.Ident) bool {
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == id {
+				return true
+			}
+		}
+	case *ast.ValueSpec:
+		for _, name := range p.Names {
+			if name == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reportAliasUses walks the blocks the &v definition reaches and
+// reports each use of the local it was bound to — the reader sees every
+// place the raw pointer ends up, not just its origin.
+func reportAliasUses(fi *FuncInfo, rd *ReachingDefs, v *types.Var, addr *ast.UnaryExpr, info *types.Info, report func(pos token.Pos, format string, args ...any)) {
+	// Find the local(s) defined from this &v expression.
+	aliases := map[*types.Var]bool{}
+	for _, site := range rd.Sites {
+		if site.Rhs != nil && ast.Unparen(site.Rhs) == addr {
+			aliases[site.Var] = true
+		}
+	}
+	if len(aliases) == 0 {
+		return
+	}
+	for _, b := range fi.CFG.Blocks {
+		inspectShallow(b.Nodes, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			u, ok := info.Uses[id].(*types.Var)
+			if !ok || !aliases[u] {
+				return true
+			}
+			// The &v def reaches this use either across blocks (entry
+			// fact) or from earlier in the same block.
+			hit := false
+			for _, site := range rd.DefsOf(b, u) {
+				if site.Rhs != nil && ast.Unparen(site.Rhs) == addr {
+					hit = true
+				}
+			}
+			if !hit {
+				for _, node := range b.Nodes {
+					if node.End() <= id.Pos() && nodeContains(node, addr) {
+						hit = true
+						break
+					}
+				}
+			}
+			if hit {
+				report(id.Pos(), "use of %s, a raw pointer to atomic tuning global %s; access the global through its accessor pair", u.Name(), v.Name())
+			}
+			return true
+		})
+	}
+}
+
+// nodeContains reports whether the node's source range contains target.
+func nodeContains(n ast.Node, target ast.Node) bool {
+	return n.Pos() <= target.Pos() && target.End() <= n.End()
+}

@@ -1,0 +1,596 @@
+// Control-flow graphs. buildCFG lowers one function body into basic
+// blocks connected by directed edges, the substrate the flow-sensitive
+// rules (ctxpoll, commitpath, goroleak) and the dataflow solver run on.
+// The builder is purely syntactic — it needs no type information, which
+// keeps it cheap enough to fuzz — and models Go's full statement set:
+// if/for/range chains, switch and type-switch with fallthrough, select,
+// labeled break/continue/goto, and terminating calls (panic, os.Exit,
+// log.Fatal*, runtime.Goexit) which edge straight to the exit block.
+//
+// Two deliberate simplifications, documented for rule authors:
+//
+//   - Nested function literals are opaque: their bodies get their own
+//     CFGs (Module.Functions builds one per literal) and are never
+//     inlined into the enclosing graph, so a rule scanning a block's
+//     nodes must skip *ast.FuncLit subtrees (inspectShallow does).
+//   - Deferred calls are recorded on CFG.Defers rather than placed in
+//     blocks: they run on every path to the exit, and rules that care
+//     (commitpath's rollback detection, goroleak's deferred Wait)
+//     consult the list directly.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal straight-line node sequence with
+// edges only at the end. Nodes holds statements and the control
+// expressions (if/switch conditions, range operands) evaluated in the
+// block, in execution order.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// Loop is one for or range statement of the function. Blocks is the
+// loop body in the natural-loop sense — header, body, and post blocks;
+// every cycle of the loop stays inside it — excluding the after-block
+// that break and a false condition jump to.
+type Loop struct {
+	// Stmt is the *ast.ForStmt or *ast.RangeStmt.
+	Stmt ast.Stmt
+	// Head is the loop header; every iteration passes through it.
+	Head *Block
+	// Blocks is the set of blocks forming the loop, Head included.
+	Blocks map[*Block]bool
+}
+
+// CFG is the control-flow graph of one function body. Entry starts the
+// body; Exit is the single synthetic sink every return, terminating
+// call, and fall-off-the-end path reaches. Unreachable blocks are
+// pruned, so every block in Blocks is reachable from Entry except
+// possibly Exit (a function that provably never returns).
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	Loops  []*Loop
+	// Defers lists the deferred calls of the body in source order; they
+	// run, in reverse order, on every path that reaches Exit.
+	Defers []*ast.CallExpr
+}
+
+// buildCFG constructs the graph for one function body; nil body (a
+// declaration without implementation) yields nil.
+func buildCFG(body *ast.BlockStmt) *CFG {
+	if body == nil {
+		return nil
+	}
+	b := &cfgBuilder{
+		g:         &CFG{},
+		labelBrk:  map[string]*Block{},
+		labelCont: map[string]*Block{},
+		labelBlk:  map[string]*Block{},
+		pendGoto:  map[string][]*Block{},
+	}
+	b.g.Exit = b.newBlock() // index 0 before reindexing; pruned last
+	b.g.Entry = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.jump(b.g.Exit)
+	b.prune()
+	return b.g
+}
+
+type cfgBuilder struct {
+	g   *CFG
+	cur *Block // nil while the current point is unreachable
+
+	// Innermost-last stacks of unlabeled break/continue targets.
+	brkStack  []*Block
+	contStack []*Block
+	// Labeled targets, function-scoped.
+	labelBrk  map[string]*Block
+	labelCont map[string]*Block
+	labelBlk  map[string]*Block
+	pendGoto  map[string][]*Block
+	// pendingLabel names the label whose statement is being built next,
+	// so the loop/switch/select builders can register break/continue
+	// targets for it.
+	pendingLabel string
+	// fallTarget is the next case's block while building a switch
+	// clause, the target of a fallthrough statement.
+	fallTarget *Block
+	// loops is the stack of loops under construction; newBlock registers
+	// each fresh block with all of them.
+	loops []*Loop
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	for _, l := range b.loops {
+		l.Blocks[blk] = true
+	}
+	return blk
+}
+
+// link adds the edge from→to; a nil from (unreachable source) is a no-op.
+func link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump links the current block to target and marks the point after it
+// unreachable (return, break, goto all end the block this way).
+func (b *cfgBuilder) jump(target *Block) {
+	link(b.cur, target)
+	b.cur = nil
+}
+
+// add appends a node to the current block, reviving a dead point into a
+// fresh (statically unreachable, later pruned) block so statements after
+// a return still get built — a label inside may make them reachable.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	// Any statement other than a labeled one consumes the pending label
+	// scope (the label still names its block for goto).
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.pendingLabel = ""
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.pendingLabel = ""
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, label, nil)
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, label, nil)
+	case *ast.SelectStmt:
+		b.selectStmt(s, b.takeLabel())
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.BranchStmt:
+		b.pendingLabel = ""
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		b.pendingLabel = ""
+		b.add(s)
+		b.jump(b.g.Exit)
+	case *ast.DeferStmt:
+		b.pendingLabel = ""
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s.Call)
+	case *ast.ExprStmt:
+		b.pendingLabel = ""
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isTerminalCall(call) {
+			b.jump(b.g.Exit)
+		}
+	case *ast.EmptyStmt:
+		// no node
+	default:
+		// Assign, Decl, IncDec, Send, Go — straight-line statements.
+		b.pendingLabel = ""
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	after := b.newBlock()
+	then := b.newBlock()
+	link(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	link(b.cur, after)
+	if s.Else != nil {
+		els := b.newBlock()
+		link(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		link(b.cur, after)
+	} else {
+		link(cond, after)
+	}
+	b.cur = after
+}
+
+// pushLoopTargets registers break/continue targets (stack and label maps).
+func (b *cfgBuilder) pushLoopTargets(label string, brk, cont *Block) {
+	b.brkStack = append(b.brkStack, brk)
+	b.contStack = append(b.contStack, cont)
+	if label != "" {
+		b.labelBrk[label] = brk
+		b.labelCont[label] = cont
+	}
+}
+
+func (b *cfgBuilder) popLoopTargets() {
+	b.brkStack = b.brkStack[:len(b.brkStack)-1]
+	b.contStack = b.contStack[:len(b.contStack)-1]
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	after := b.newBlock() // outside the loop set: created before the push
+	loop := &Loop{Stmt: s, Blocks: map[*Block]bool{}}
+	b.g.Loops = append(b.g.Loops, loop)
+	b.loops = append(b.loops, loop)
+
+	head := b.newBlock()
+	loop.Head = head
+	b.jump(head)
+	b.cur = head
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		link(head, after)
+	}
+	var post *Block
+	cont := head
+	if s.Post != nil {
+		post = b.newBlock()
+		post.Nodes = append(post.Nodes, s.Post)
+		link(post, head)
+		cont = post
+	}
+	body := b.newBlock()
+	link(head, body)
+	b.cur = body
+	b.pushLoopTargets(label, after, cont)
+	b.stmtList(s.Body.List)
+	b.popLoopTargets()
+	if post != nil {
+		link(b.cur, post)
+	} else {
+		link(b.cur, head)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.add(s.X) // the ranged operand is evaluated once, before the loop
+	after := b.newBlock()
+	loop := &Loop{Stmt: s, Blocks: map[*Block]bool{}}
+	b.g.Loops = append(b.g.Loops, loop)
+	b.loops = append(b.loops, loop)
+
+	head := b.newBlock()
+	loop.Head = head
+	// The RangeStmt node itself stands for the per-iteration advance and
+	// key/value binding.
+	head.Nodes = append(head.Nodes, s)
+	b.jump(head)
+	link(head, after) // the range may be exhausted at any iteration
+	body := b.newBlock()
+	link(head, body)
+	b.cur = body
+	b.pushLoopTargets(label, after, head)
+	b.stmtList(s.Body.List)
+	b.popLoopTargets()
+	link(b.cur, head)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+// switchBody builds the clause blocks of a switch or type switch.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string, _ *Block) {
+	cond := b.cur
+	if cond == nil {
+		cond = b.newBlock()
+		b.cur = cond
+	}
+	after := b.newBlock()
+	// break inside a switch targets after; continue passes through to the
+	// enclosing loop, so only the break stack grows.
+	b.brkStack = append(b.brkStack, after)
+	if label != "" {
+		b.labelBrk[label] = after
+	}
+
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		link(cond, blocks[i])
+		for _, e := range cc.List {
+			blocks[i].Nodes = append(blocks[i].Nodes, e)
+		}
+		if len(cc.List) == 0 {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		link(cond, after)
+	}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		if i+1 < len(clauses) {
+			b.fallTarget = blocks[i+1]
+		} else {
+			b.fallTarget = nil
+		}
+		b.stmtList(cc.Body)
+		b.fallTarget = nil
+		link(b.cur, after)
+	}
+	b.brkStack = b.brkStack[:len(b.brkStack)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	cond := b.cur
+	if cond == nil {
+		cond = b.newBlock()
+		b.cur = cond
+	}
+	after := b.newBlock()
+	b.brkStack = append(b.brkStack, after)
+	if label != "" {
+		b.labelBrk[label] = after
+	}
+	any := false
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		any = true
+		blk := b.newBlock()
+		link(cond, blk)
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		b.cur = blk
+		b.stmtList(cc.Body)
+		link(b.cur, after)
+	}
+	b.brkStack = b.brkStack[:len(b.brkStack)-1]
+	if !any {
+		// select{} blocks forever: no edge out.
+		b.cur = nil
+		return
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) labeledStmt(s *ast.LabeledStmt) {
+	name := s.Label.Name
+	target := b.newBlock()
+	link(b.cur, target)
+	b.cur = target
+	b.labelBlk[name] = target
+	for _, from := range b.pendGoto[name] {
+		link(from, target)
+	}
+	delete(b.pendGoto, name)
+	b.pendingLabel = name
+	b.stmt(s.Stmt)
+	b.pendingLabel = ""
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		var target *Block
+		if s.Label != nil {
+			target = b.labelBrk[s.Label.Name]
+		} else if len(b.brkStack) > 0 {
+			target = b.brkStack[len(b.brkStack)-1]
+		}
+		if target != nil {
+			b.add(s)
+			b.jump(target)
+		}
+	case token.CONTINUE:
+		var target *Block
+		if s.Label != nil {
+			target = b.labelCont[s.Label.Name]
+		} else if len(b.contStack) > 0 {
+			target = b.contStack[len(b.contStack)-1]
+		}
+		if target != nil {
+			b.add(s)
+			b.jump(target)
+		}
+	case token.GOTO:
+		if s.Label == nil {
+			return
+		}
+		b.add(s)
+		name := s.Label.Name
+		if target, ok := b.labelBlk[name]; ok {
+			b.jump(target)
+			return
+		}
+		// Forward goto: resolved when the label's statement is built.
+		b.pendGoto[name] = append(b.pendGoto[name], b.cur)
+		b.cur = nil
+	case token.FALLTHROUGH:
+		if b.fallTarget != nil {
+			b.add(s)
+			b.jump(b.fallTarget)
+		}
+	}
+}
+
+// isTerminalCall reports, by name alone (the builder is type-free),
+// whether the call never returns: panic, os.Exit, runtime.Goexit, and
+// the log.Fatal family.
+func isTerminalCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+			return true
+		}
+	}
+	return false
+}
+
+// prune drops blocks unreachable from Entry (keeping Exit), filters
+// their edges and the loop sets, and reindexes.
+func (b *cfgBuilder) prune() {
+	g := b.g
+	reach := map[*Block]bool{g.Entry: true}
+	queue := []*Block{g.Entry}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		for _, s := range blk.Succs {
+			if !reach[s] {
+				reach[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	var kept []*Block
+	for _, blk := range g.Blocks {
+		if reach[blk] || blk == g.Exit {
+			kept = append(kept, blk)
+		}
+	}
+	for i, blk := range kept {
+		blk.Index = i
+		blk.Succs = filterBlocks(blk.Succs, reach, g.Exit)
+		blk.Preds = filterBlocks(blk.Preds, reach, g.Exit)
+	}
+	var loops []*Loop
+	for _, l := range g.Loops {
+		if !reach[l.Head] {
+			continue
+		}
+		for blk := range l.Blocks {
+			if !reach[blk] {
+				delete(l.Blocks, blk)
+			}
+		}
+		loops = append(loops, l)
+	}
+	g.Blocks, g.Loops = kept, loops
+}
+
+func filterBlocks(list []*Block, reach map[*Block]bool, exit *Block) []*Block {
+	var out []*Block
+	for _, blk := range list {
+		if reach[blk] || blk == exit {
+			out = append(out, blk)
+		}
+	}
+	return out
+}
+
+// inspectShallow walks the subtrees of a block's nodes the way the
+// block executes them: nested function literals are skipped (their
+// bodies have their own CFGs and run on their own schedule) and so are
+// deferred calls (they run at function exit, not at the defer site).
+func inspectShallow(nodes []ast.Node, f func(ast.Node) bool) {
+	for _, n := range nodes {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c.(type) {
+			case nil:
+				return true // post-visit callback; not forwarded
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				return false
+			}
+			return f(c)
+		})
+	}
+}
+
+// blockReaches reports whether target is reachable from one of the
+// start blocks by edges that avoid blocks for which avoid returns true
+// (start blocks themselves are not tested against avoid).
+func blockReaches(starts []*Block, target *Block, avoid func(*Block) bool) bool {
+	seen := map[*Block]bool{}
+	queue := append([]*Block(nil), starts...)
+	for _, s := range starts {
+		seen[s] = true
+	}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		if blk == target {
+			return true
+		}
+		for _, s := range blk.Succs {
+			if seen[s] || (avoid != nil && avoid(s) && s != target) {
+				continue
+			}
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	return false
+}

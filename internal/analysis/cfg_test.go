@@ -1,0 +1,412 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFromBody parses "package p\nfunc f(...) { body }" and returns
+// the CFG of f, failing the test on parse errors.
+func buildFromBody(t *testing.T, body string) *CFG {
+	t.Helper()
+	g := parseAndBuild("func f(a, b int, ch chan int) int {\n" + body + "\n}")
+	if g == nil {
+		t.Fatalf("no CFG built for body:\n%s", body)
+	}
+	return g
+}
+
+// parseAndBuild wraps one function declaration in a package clause,
+// parses it, and builds the CFG; nil when the source does not parse as
+// a single function (the fuzz target's tolerant entry point).
+func parseAndBuild(fn string) *CFG {
+	src := "package p\n\n" + fn
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fuzz.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return buildCFG(fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkCFG asserts the structural invariants every CFG must satisfy:
+// symmetric succ/pred edges, every non-exit block reachable from entry
+// (prune's contract), loop heads inside their own block sets, and no
+// self-duplicated edges.
+func checkCFG(t *testing.T, g *CFG) {
+	t.Helper()
+	index := map[*Block]bool{}
+	for _, b := range g.Blocks {
+		index[b] = true
+	}
+	if !index[g.Entry] {
+		t.Fatal("entry block not in Blocks")
+	}
+	if !index[g.Exit] {
+		t.Fatal("exit block not in Blocks")
+	}
+	for _, b := range g.Blocks {
+		seen := map[*Block]bool{}
+		for _, s := range b.Succs {
+			if !index[s] {
+				t.Errorf("block %d has pruned successor", b.Index)
+			}
+			if seen[s] {
+				t.Errorf("block %d has duplicate successor %d", b.Index, s.Index)
+			}
+			seen[s] = true
+			found := false
+			for _, p := range s.Preds {
+				if p == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %d->%d missing from preds", b.Index, s.Index)
+			}
+		}
+	}
+	reach := map[*Block]bool{g.Entry: true}
+	queue := []*Block{g.Entry}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		for _, s := range b.Succs {
+			if !reach[s] {
+				reach[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		if !reach[b] && b != g.Exit {
+			t.Errorf("block %d survives prune but is unreachable", b.Index)
+		}
+	}
+	for _, l := range g.Loops {
+		if l.Head == nil {
+			t.Error("loop without head")
+			continue
+		}
+		if !l.Blocks[l.Head] {
+			t.Error("loop head outside its own block set")
+		}
+		for b := range l.Blocks {
+			if !index[b] {
+				t.Error("loop set retains pruned block")
+			}
+		}
+	}
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildFromBody(t, "a++\nb++\nreturn a + b")
+	checkCFG(t, g)
+	if len(g.Loops) != 0 {
+		t.Errorf("straight-line code grew %d loops", len(g.Loops))
+	}
+	// Entry holds all three statements and edges to exit.
+	if n := len(g.Entry.Nodes); n != 3 {
+		t.Errorf("entry has %d nodes, want 3", n)
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Error("straight-line entry should edge only to exit")
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	g := buildFromBody(t, `
+if a > b {
+	a = 1
+} else {
+	a = 2
+}
+return a`)
+	checkCFG(t, g)
+	// cond block must have two successors (then, else) and the return
+	// block two predecessors.
+	if n := len(g.Entry.Succs); n != 2 {
+		t.Fatalf("if condition has %d successors, want 2", n)
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	g := buildFromBody(t, `
+if a > b {
+	a = 1
+}
+return a`)
+	checkCFG(t, g)
+	if n := len(g.Entry.Succs); n != 2 {
+		t.Fatalf("else-less if condition has %d successors (then, after), want 2", n)
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := buildFromBody(t, `
+s := 0
+for i := 0; i < a; i++ {
+	s += i
+}
+return s`)
+	checkCFG(t, g)
+	if len(g.Loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(g.Loops))
+	}
+	l := g.Loops[0]
+	// The after-block (holding the return) must not be in the loop set.
+	for b := range l.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				t.Error("return after the loop landed inside the loop set")
+			}
+		}
+	}
+	// The header must be re-reachable from its body successors: a cycle.
+	var inLoop []*Block
+	for _, s := range l.Head.Succs {
+		if l.Blocks[s] {
+			inLoop = append(inLoop, s)
+		}
+	}
+	if !blockReaches(inLoop, l.Head, func(b *Block) bool { return !l.Blocks[b] }) {
+		t.Error("loop has no cycle back to its header")
+	}
+}
+
+func TestCFGRangeChannel(t *testing.T) {
+	g := buildFromBody(t, `
+s := 0
+for v := range ch {
+	s += v
+}
+return s`)
+	checkCFG(t, g)
+	if len(g.Loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(g.Loops))
+	}
+	head := g.Loops[0].Head
+	if len(head.Nodes) != 1 {
+		t.Fatalf("range head has %d nodes, want the RangeStmt only", len(head.Nodes))
+	}
+	if _, ok := head.Nodes[0].(*ast.RangeStmt); !ok {
+		t.Error("range head node is not the RangeStmt")
+	}
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	g := buildFromBody(t, `
+for i := 0; i < a; i++ {
+	if i == 3 {
+		break
+	}
+	if i == 1 {
+		continue
+	}
+	b++
+}
+return b`)
+	checkCFG(t, g)
+	l := g.Loops[0]
+	// break must edge out of the loop set; continue must stay inside.
+	brkOut, contIn := false, false
+	for b := range l.Blocks {
+		for _, n := range b.Nodes {
+			br, ok := n.(*ast.BranchStmt)
+			if !ok {
+				continue
+			}
+			for _, s := range b.Succs {
+				if br.Tok == token.BREAK && !l.Blocks[s] {
+					brkOut = true
+				}
+				if br.Tok == token.CONTINUE && l.Blocks[s] {
+					contIn = true
+				}
+			}
+		}
+	}
+	if !brkOut {
+		t.Error("break does not leave the loop set")
+	}
+	if !contIn {
+		t.Error("continue leaves the loop set")
+	}
+}
+
+func TestCFGTerminalCalls(t *testing.T) {
+	g := buildFromBody(t, `
+if a == 0 {
+	panic("zero")
+}
+return a`)
+	checkCFG(t, g)
+	// The panic block's only successor is exit.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok && isTerminalCall(call) {
+				if len(b.Succs) != 1 || b.Succs[0] != g.Exit {
+					t.Error("terminal call block does not edge straight to exit")
+				}
+			}
+		}
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildFromBody(t, `
+switch a {
+case 0:
+	b = 1
+	fallthrough
+case 1:
+	b = 2
+default:
+	b = 3
+}
+return b`)
+	checkCFG(t, g)
+	// The fallthrough must produce an edge from case-0's block into
+	// case-1's block: some block containing "b = 1" edges to one
+	// containing "b = 2".
+	found := false
+	for _, b := range g.Blocks {
+		if !blockAssigns(b, "1") {
+			continue
+		}
+		for _, s := range b.Succs {
+			if blockAssigns(s, "2") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("fallthrough edge from case 0 to case 1 missing")
+	}
+}
+
+// blockAssigns reports whether the block contains `b = <lit>`.
+func blockAssigns(b *Block, lit string) bool {
+	for _, n := range b.Nodes {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			continue
+		}
+		if bl, ok := as.Rhs[0].(*ast.BasicLit); ok && bl.Value == lit {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGSelectEmpty(t *testing.T) {
+	g := buildFromBody(t, `
+select {}
+`)
+	checkCFG(t, g)
+	// select{} blocks forever: the exit must be unreachable from entry.
+	if blockReaches([]*Block{g.Entry}, g.Exit, nil) {
+		t.Error("exit reachable past select{}")
+	}
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	g := buildFromBody(t, `
+if a > 0 {
+	goto done
+}
+b = 2
+done:
+return b`)
+	checkCFG(t, g)
+	// Both the goto path and the fallthrough path must reach the
+	// labeled return block: it has at least two predecessors.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				if len(b.Preds) < 2 {
+					t.Errorf("labeled return has %d preds, want >= 2", len(b.Preds))
+				}
+			}
+		}
+	}
+}
+
+func TestCFGPruneUnreachable(t *testing.T) {
+	g := buildFromBody(t, `
+return a
+b = 9`)
+	checkCFG(t, g)
+	for _, blk := range g.Blocks {
+		if blockAssigns(blk, "9") {
+			t.Error("statically unreachable statement survived prune")
+		}
+	}
+}
+
+func TestCFGDefersRecorded(t *testing.T) {
+	g := buildFromBody(t, `
+defer println(a)
+defer println(b)
+return a`)
+	checkCFG(t, g)
+	if len(g.Defers) != 2 {
+		t.Fatalf("recorded %d defers, want 2", len(g.Defers))
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildFromBody(t, `
+outer:
+for i := 0; i < a; i++ {
+	for j := 0; j < b; j++ {
+		if i*j > 10 {
+			break outer
+		}
+	}
+}
+return a`)
+	checkCFG(t, g)
+	if len(g.Loops) != 2 {
+		t.Fatalf("got %d loops, want 2", len(g.Loops))
+	}
+	// The labeled break must edge outside BOTH loop sets.
+	var outerLoop *Loop
+	for _, l := range g.Loops {
+		if _, ok := l.Stmt.(*ast.ForStmt); ok && outerLoop == nil {
+			outerLoop = l
+		}
+	}
+	found := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.BREAK && br.Label != nil {
+				for _, s := range b.Succs {
+					out := true
+					for _, l := range g.Loops {
+						if l.Blocks[s] {
+							out = false
+						}
+					}
+					if out {
+						found = true
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("labeled break does not leave both loop sets")
+	}
+}

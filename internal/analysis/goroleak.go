@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak requires every `go` statement to have a reachable join: a
+// spawned goroutine whose completion nothing ever observes outlives
+// cancellation, keeps buffers pinned, and — on the exec worker pool —
+// silently shrinks parallelism when it deadlocks. PR 3's pipeline
+// shutdown contract is "Stop returns only after the workers drained";
+// this rule keeps that structural.
+//
+// A goroutine counts as joined when, from the block spawning it, the
+// function can reach a join construct:
+//
+//   - a call to a method named Wait (sync.WaitGroup, errgroup-style
+//     handles alike — matched by name so fixtures need no real types),
+//   - a channel receive (<-ch, including range-over-channel) or a
+//     select statement,
+//   - or a deferred join (defer wg.Wait() / defer close in the
+//     function's defer list, which runs on every exit path).
+//
+// Alternatively the goroutine's synchronization state may legitimately
+// leave the function — the caller joins instead. The rule excuses the
+// spawn when the channels and WaitGroups the goroutine touches are
+// non-local (fields, globals, parameters) or escape the function
+// (EscapeLite): a constructor that starts a worker and returns the
+// handle is fine. What remains — a goroutine communicating only through
+// function-local, non-escaping state with no reachable join, or
+// communicating through nothing at all — is a leak or a fire-and-forget
+// the author must justify with an ignore.
+type GoroLeak struct{}
+
+func (GoroLeak) Name() string { return "goroleak" }
+func (GoroLeak) Doc() string {
+	return "every go statement needs a reachable join (Wait/receive/select), a deferred join, or an escaping handle"
+}
+
+// Run is empty: the whole analysis is per-function.
+func (GoroLeak) Run(m *Module, report func(pos token.Pos, format string, args ...any)) {}
+
+func (GoroLeak) RunFunc(fi *FuncInfo, report func(pos token.Pos, format string, args ...any)) {
+	g := fi.CFG
+	if g == nil {
+		return
+	}
+	info := fi.Pkg.Info
+
+	// Collect the spawn sites per block first; most functions have none
+	// and the rest of the analysis is skipped.
+	type spawn struct {
+		b    *Block
+		stmt *ast.GoStmt
+	}
+	var spawns []spawn
+	for _, b := range g.Blocks {
+		inspectShallow(b.Nodes, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				spawns = append(spawns, spawn{b, gs})
+				// The spawned call's own subtree (often a FuncLit, already
+				// skipped) holds no further spawns of this function.
+			}
+			return true
+		})
+	}
+	if len(spawns) == 0 {
+		return
+	}
+
+	joins := map[*Block]bool{}
+	for _, b := range g.Blocks {
+		if blockJoins(b, info) {
+			joins[b] = true
+		}
+	}
+	deferJoins := false
+	for _, d := range g.Defers {
+		ast.Inspect(d, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.SelectorExpr:
+				if nn.Sel.Name == "Wait" {
+					deferJoins = true
+				}
+			case *ast.UnaryExpr:
+				if nn.Op == token.ARROW {
+					deferJoins = true
+				}
+			}
+			return true
+		})
+	}
+
+	var escaped map[*types.Var]bool // built lazily
+	params := map[*types.Var]bool{}
+	if ft := funcTypeOf(fi.FuncNode()); ft != nil && ft.Params != nil {
+		for _, f := range ft.Params.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					params[v] = true
+				}
+			}
+		}
+	}
+
+	for _, sp := range spawns {
+		if deferJoins {
+			continue
+		}
+		if joinReachable(g, sp.b, sp.stmt, joins, info) {
+			continue
+		}
+		// No join in this function: excused only when the goroutine's
+		// synchronization state can be joined by a caller. Escape is
+		// computed with go statements excluded — capture by the spawned
+		// closure itself must not excuse its own leak.
+		if escaped == nil {
+			escaped = escapeWalk(fi.Body(), info, func(n ast.Node) bool {
+				_, ok := n.(*ast.GoStmt)
+				return ok
+			})
+		}
+		syncVars, sawSync := goSyncState(sp.stmt, info)
+		if sawSync {
+			external := false
+			for _, v := range syncVars {
+				if v == nil || params[v] || escaped[v] {
+					external = true
+					break
+				}
+			}
+			if external {
+				continue
+			}
+			report(sp.stmt.Pos(), "goroutine synchronizes only through function-local state with no reachable join; add a Wait/receive on some path or defer one")
+			continue
+		}
+		report(sp.stmt.Pos(), "goroutine has no reachable join and no synchronization handle; its completion is unobservable")
+	}
+}
+
+// blockJoins reports whether the block contains a join construct: a
+// Wait method call, a channel receive, a range over a channel, or a
+// select entry.
+func blockJoins(b *Block, info *types.Info) bool {
+	found := false
+	inspectShallow(b.Nodes, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch nn := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(nn.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				found = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.SelectStmt:
+			found = true
+			return false
+		case *ast.RangeStmt:
+			if info != nil {
+				if tv, ok := info.Types[nn.X]; ok && tv.Type != nil {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// joinReachable reports whether a join construct lies on some path from
+// the spawn: later in the spawning block itself, or in any block
+// reachable from it.
+func joinReachable(g *CFG, b *Block, spawn *ast.GoStmt, joins map[*Block]bool, info *types.Info) bool {
+	// Same block, after the spawn.
+	tail := false
+	inspectShallow(b.Nodes, func(n ast.Node) bool {
+		if tail {
+			return false
+		}
+		if n.Pos() <= spawn.Pos() {
+			return true
+		}
+		one := &Block{Nodes: []ast.Node{n}}
+		if blockJoins(one, info) {
+			tail = true
+			return false
+		}
+		return true
+	})
+	if tail {
+		return true
+	}
+	for j := range joins {
+		if j == b {
+			continue
+		}
+		if blockReaches(b.Succs, j, nil) {
+			return true
+		}
+	}
+	return false
+}
+
+// goSyncState lists the channel- and WaitGroup-typed variables the go
+// statement references (in the spawned call and, for a literal, its
+// body). A nil entry stands for non-local state — a field selector or
+// package global, always joined elsewhere. sawSync is false when the
+// goroutine touches no synchronization state at all.
+func goSyncState(gs *ast.GoStmt, info *types.Info) (vars []*types.Var, sawSync bool) {
+	ast.Inspect(gs.Call, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.Ident:
+			obj := info.Uses[nn]
+			if obj == nil {
+				obj = info.Defs[nn]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok || !isSyncType(v.Type()) {
+				return true
+			}
+			sawSync = true
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() || v.IsField() {
+				vars = append(vars, nil) // global or field: external
+			} else {
+				vars = append(vars, v)
+			}
+		case *ast.SelectorExpr:
+			// x.done, s.wg — synchronization reached through a struct is
+			// owned by the struct, not this function.
+			if tv, ok := info.Types[nn]; ok && isSyncType(tv.Type) {
+				sawSync = true
+				vars = append(vars, nil)
+				return false
+			}
+		}
+		return true
+	})
+	return vars, sawSync
+}
+
+// funcTypeOf returns the *ast.FuncType of a FuncDecl or FuncLit node.
+func funcTypeOf(n ast.Node) *ast.FuncType {
+	switch d := n.(type) {
+	case *ast.FuncDecl:
+		return d.Type
+	case *ast.FuncLit:
+		return d.Type
+	}
+	return nil
+}
+
+// isSyncType reports whether t is a channel, a sync.WaitGroup, or a
+// pointer to one.
+func isSyncType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = deref(t)
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	return namedFrom(t, "sync", "WaitGroup")
+}

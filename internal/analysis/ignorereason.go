@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// IgnoreReason is the meta-rule keeping the escape hatch honest: every
+// //opvet:ignore must name the rules it silences and carry a trailing
+// reason. An unexplained suppression is indistinguishable from a stale
+// one — six months later nobody knows whether the invariant genuinely
+// does not apply or the comment merely outlived its author's context.
+//
+// Flagged forms:
+//
+//	//opvet:ignore                      bare blanket ignore — no rules, no reason
+//	//opvet:ignore ctxpoll              rule list but no reason
+//	//opvet:ignore ctxpol bounded       unknown rule name (typo never suppresses
+//	                                    anything, the ignore is dead)
+//
+// Accepted:
+//
+//	//opvet:ignore ctxpoll send bounded by queue capacity
+//	//opvet:ignore ctxpoll,goroleak drained by Stop
+//
+// The rule cannot be wildcard-suppressed: a bare //opvet:ignore does
+// not silence the finding about itself (only an explicit
+// "//opvet:ignore ignorereason <reason>" does — and then it has a
+// reason, which is the point).
+type IgnoreReason struct{}
+
+func (IgnoreReason) Name() string { return "ignorereason" }
+func (IgnoreReason) Doc() string {
+	return "every //opvet:ignore must name existing rules and end with a reason"
+}
+
+func (IgnoreReason) Run(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	known := map[string]bool{"*": true}
+	for _, r := range Rules() {
+		known[r.Name()] = true
+	}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := annotationArgs(c.Text, "ignore")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						report(c.Pos(), "bare //opvet:ignore suppresses every rule with no reason; write //opvet:ignore <rules> <reason>")
+						continue
+					}
+					for _, r := range strings.Split(fields[0], ",") {
+						if r = strings.TrimSpace(r); r != "" && !known[r] {
+							report(c.Pos(), "unknown rule %q in //opvet:ignore list; the suppression is dead", r)
+						}
+					}
+					if len(fields) == 1 {
+						report(c.Pos(), "//opvet:ignore %s has no trailing reason; say why the invariant does not apply here", fields[0])
+					}
+				}
+			}
+		}
+	}
+}

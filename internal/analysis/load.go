@@ -16,8 +16,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // LoadModule parses and type-checks every package under the module
@@ -93,16 +95,64 @@ func LoadModule(dir string) (*Module, error) {
 		return nil, err
 	}
 
+	// Type-check in dependency waves: a package is ready once every one
+	// of its intra-module imports is done, and all ready packages check
+	// concurrently, bounded by GOMAXPROCS. The FileSet is safe for
+	// concurrent position work; the importer serializes behind its own
+	// mutex; finished types.Packages are read-only to later waves
+	// (imp.local is only written between waves, under wg.Wait ordering).
 	imp := newChainImporter(fset)
-	for _, path := range order {
-		p := byPath[path]
-		tpkg, info, cerr := checkPackage(fset, path, p.pkg.Files, imp)
-		if cerr != nil {
-			return nil, fmt.Errorf("type-checking %s: %w", path, cerr)
+	done := map[string]bool{}
+	for len(done) < len(order) {
+		var wave []string
+		for _, path := range order {
+			if done[path] {
+				continue
+			}
+			ready := true
+			for _, d := range byPath[path].imports {
+				if !done[d] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, path)
+			}
 		}
-		p.pkg.Types, p.pkg.Info = tpkg, info
-		imp.local[path] = tpkg
-		m.Packages = append(m.Packages, p.pkg)
+		if len(wave) == 0 {
+			// Unreachable: topoSort already rejected cycles.
+			return nil, fmt.Errorf("type-checking stalled with %d packages pending", len(order)-len(done))
+		}
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		var wg sync.WaitGroup
+		errs := make([]error, len(wave))
+		for i, path := range wave {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, path string) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				p := byPath[path]
+				tpkg, info, cerr := checkPackage(fset, path, p.pkg.Files, imp)
+				if cerr != nil {
+					errs[i] = fmt.Errorf("type-checking %s: %w", path, cerr)
+					return
+				}
+				p.pkg.Types, p.pkg.Info = tpkg, info
+			}(i, path)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+		for _, path := range wave {
+			imp.local[path] = byPath[path].pkg.Types
+			m.Packages = append(m.Packages, byPath[path].pkg)
+			done[path] = true
+		}
 	}
 	sort.Slice(m.Packages, func(i, j int) bool { return m.Packages[i].Path < m.Packages[j].Path })
 	return m, nil
@@ -241,8 +291,13 @@ func checkPackage(fset *token.FileSet, path string, files []*ast.File, imp types
 
 // chainImporter resolves module-local packages from the already-checked
 // set and everything else through the gc (export data) importer with a
-// source-importer fallback. Results are cached.
+// source-importer fallback. Results are cached. Import serializes on mu
+// because concurrent wave type-checks share one importer and neither
+// the cache maps nor the underlying stdlib importers are safe to use
+// from multiple goroutines; local is additionally written lock-free
+// between waves, when no Import can be in flight.
 type chainImporter struct {
+	mu     sync.Mutex
 	local  map[string]*types.Package
 	std    map[string]*types.Package
 	gc     types.Importer
@@ -259,6 +314,8 @@ func newChainImporter(fset *token.FileSet) *chainImporter {
 }
 
 func (c *chainImporter) Import(path string) (*types.Package, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if p := c.local[path]; p != nil {
 		return p, nil
 	}

@@ -1,0 +1,49 @@
+// Fixture for the atomicguard rule: package-level sync/atomic tuning
+// state may only be touched through its atomic method API. Value
+// copies, raw address escapes (and every use the alias reaches), whole-
+// value assignments, and method values fire; accessor calls, local
+// atomics, and suppressed lines stay silent.
+package atomicguard
+
+import "sync/atomic"
+
+// threshold mirrors fft.parallelThreshold: a package-level tuning knob.
+var threshold atomic.Int64
+
+// enabled is a second knob, for the boolean accessor shapes.
+var enabled atomic.Bool
+
+func accessors(n int64) int64 {
+	threshold.Store(n)
+	enabled.CompareAndSwap(false, true)
+	return threshold.Load() // receiver of a called method: allowed
+}
+
+func copied() int64 {
+	t := threshold // want: value copy
+	return t.Load()
+}
+
+func addressed() {
+	p := &threshold // want: address taken
+	p.Store(1)      // want: use of the raw-pointer alias
+}
+
+func methodValue() func() int64 {
+	return threshold.Load // want: method value over the raw variable
+}
+
+func reset() {
+	threshold = atomic.Int64{} // want: whole-value assignment
+}
+
+func observe(v atomic.Int64) int64 { return v.Load() }
+
+func passed() int64 {
+	return observe(threshold) // want: copy into an argument
+}
+
+func suppressed() int64 {
+	t := threshold //opvet:ignore atomicguard snapshot for a read-only report
+	return t.Load()
+}

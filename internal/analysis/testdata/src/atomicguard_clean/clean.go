@@ -1,0 +1,47 @@
+// True-negative fixture for atomicguard: every touch of package-level
+// atomic state goes through the accessor API; locals of atomic type and
+// non-atomic globals are out of the rule's scope.
+package atomicguardclean
+
+import "sync/atomic"
+
+var threshold atomic.Int64
+
+var profile atomic.Pointer[config]
+
+type config struct{ workers int }
+
+func tune(n int64, c *config) {
+	threshold.Store(n)
+	profile.Store(c)
+}
+
+func read() (int64, *config) {
+	return threshold.Load(), profile.Load()
+}
+
+func bump(delta int64) int64 {
+	return threshold.Add(delta)
+}
+
+func swapIn(n int64) bool {
+	return threshold.CompareAndSwap(threshold.Load(), n)
+}
+
+// locals of atomic type belong to their function; copy and re-zero at
+// will, the rule only guards shared package state.
+func scratch() int64 {
+	var local atomic.Int64
+	local.Store(7)
+	other := local
+	local = atomic.Int64{}
+	_ = local.Load()
+	return other.Load()
+}
+
+// plain globals are mutglobal's business, not atomicguard's.
+var plainCounter int
+
+func unrelated() {
+	plainCounter++
+}

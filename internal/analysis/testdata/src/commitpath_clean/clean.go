@@ -1,0 +1,66 @@
+// True-negative fixture for commitpath: the full write-temp → fsync →
+// rename seam, a rollback-guarded writer, an explicit-removal error
+// path, and read-only file use. Loaded under an import path containing
+// internal/store.
+package storeclean
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeFileAtomic is the canonical seam, as internal/store implements
+// it: temp file, write, fsync, close, rename, with a deferred rollback
+// on the error path.
+func writeFileAtomic(dir, name string, payload []byte) (err error) {
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			_ = tmp.Close()
+			_ = os.Remove(tmpName)
+		}
+	}()
+	if _, err = tmp.Write(payload); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, filepath.Join(dir, name))
+}
+
+// writeSynced never renames; the write is post-dominated by the fsync.
+func writeSynced(path string, payload []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		_ = f.Close()
+		_ = os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readOnly touches no durable state.
+func readOnly(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = f.Close() }()
+	buf := make([]byte, 16)
+	return f.Read(buf)
+}

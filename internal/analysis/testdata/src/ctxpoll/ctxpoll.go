@@ -1,0 +1,113 @@
+// Fixture for the ctxpoll rule: blocking or unbounded loops in stage
+// methods must reach a cancellation poll on every path through the
+// loop. Poll-free loops, one-branch polls, channel drains, and loops
+// hidden in function literals fire; polled loops, transitively polling
+// helpers, pure-arithmetic loops, and non-stage functions stay silent.
+package ctxpoll
+
+type session struct {
+	sched *sched
+	items chan int
+	n     int
+}
+
+// stage mirrors the pipeline seam in internal/core.
+type stage interface {
+	name() string
+	run(*session) error
+}
+
+type sched struct{ err error }
+
+func (s *sched) Poll() error      { return s.err }
+func (s *sched) Tick(n int) error { return s.err }
+
+func work(i int) int { return i * i }
+
+// pollEvery polls transitively: loops driving it count as polled.
+func pollEvery(ses *session, i int) error { return ses.sched.Tick(i) }
+
+// spin implements stage with a poll-free unbounded loop.
+type spin struct{}
+
+func (spin) name() string { return "spin" }
+
+func (spin) run(ses *session) error {
+	for { // want: for{} with no poll
+		if work(ses.n) > 1000 {
+			return nil
+		}
+		ses.n++
+	}
+}
+
+// branchy polls on the even branch only; the odd path is a poll-free
+// cycle through the loop header.
+type branchy struct{}
+
+func (branchy) name() string { return "branchy" }
+
+func (branchy) run(ses *session) error {
+	for i := 0; i < ses.n; i++ { // want: poll on one branch only
+		if i%2 == 0 {
+			if err := ses.sched.Poll(); err != nil {
+				return err
+			}
+		}
+		_ = work(i)
+	}
+	return nil
+}
+
+// drain ranges over a channel without ever polling: every iteration can
+// block on the receive.
+type drain struct{}
+
+func (drain) name() string { return "drain" }
+
+func (drain) run(ses *session) error {
+	total := 0
+	for v := range ses.items { // want: channel range with no poll
+		total += work(v)
+	}
+	ses.n = total
+	return nil
+}
+
+// litstage hides the loop in a function literal; scope follows the
+// enclosing stage method.
+type litstage struct{}
+
+func (litstage) name() string { return "lit" }
+
+func (litstage) run(ses *session) error {
+	shrink := func() {
+		for ses.n > 1 { // want: poll-free loop inside a literal
+			ses.n = work(ses.n) % 97
+		}
+	}
+	shrink()
+	return nil
+}
+
+// suppressed carries a reasoned ignore and stays silent.
+type suppressed struct{}
+
+func (suppressed) name() string { return "suppressed" }
+
+func (suppressed) run(ses *session) error {
+	//opvet:ignore ctxpoll bounded by n, small by construction
+	for i := 0; i < ses.n; i++ {
+		_ = work(i)
+	}
+	return nil
+}
+
+// helper is not a stage method: its poll-free loop is out of scope.
+func helper(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += work(i)
+	}
+	return total
+}

@@ -1,0 +1,99 @@
+// True-negative fixture for ctxpoll: every blocking or unbounded loop
+// in a stage method polls on every path — directly, through ctx.Err, or
+// transitively through a helper — and loops outside the rule's scope or
+// below its work threshold stay silent.
+package ctxpollclean
+
+import "context"
+
+type session struct {
+	sched *sched
+	ctx   context.Context
+	items chan int
+	n     int
+}
+
+type stage interface {
+	name() string
+	run(*session) error
+}
+
+type sched struct{ err error }
+
+func (s *sched) Poll() error      { return s.err }
+func (s *sched) Tick(n int) error { return s.err }
+
+func work(i int) int { return i * i }
+
+// pollEvery polls transitively: loops driving it count as polled.
+func pollEvery(ses *session, i int) error { return ses.sched.Tick(i) }
+
+// polled polls the scheduler at the top of every iteration.
+type polled struct{}
+
+func (polled) name() string { return "polled" }
+
+func (polled) run(ses *session) error {
+	for i := 0; i < ses.n; i++ {
+		if err := ses.sched.Poll(); err != nil {
+			return err
+		}
+		_ = work(i)
+	}
+	return nil
+}
+
+// ctxed checks ctx.Err instead of the scheduler: same contract.
+type ctxed struct{}
+
+func (ctxed) name() string { return "ctxed" }
+
+func (ctxed) run(ses *session) error {
+	for v := range ses.items {
+		if err := ses.ctx.Err(); err != nil {
+			return err
+		}
+		ses.n += work(v)
+	}
+	return nil
+}
+
+// delegated polls through a helper; the may-poll set carries the fact
+// across the call.
+type delegated struct{}
+
+func (delegated) name() string { return "delegated" }
+
+func (delegated) run(ses *session) error {
+	for i := 0; i < ses.n; i++ {
+		if err := pollEvery(ses, i); err != nil {
+			return err
+		}
+		_ = work(i)
+	}
+	return nil
+}
+
+// arithmetic loops with no calls and no channel operations are below
+// the work threshold: exempt.
+type summing struct{}
+
+func (summing) name() string { return "summing" }
+
+func (summing) run(ses *session) error {
+	total := 0
+	for i := 0; i < ses.n; i++ {
+		total += i * i
+	}
+	ses.n = total
+	return nil
+}
+
+// helper is not a stage method: out of scope even with a working loop.
+func helper(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += work(i)
+	}
+	return total
+}

@@ -1,0 +1,67 @@
+// Fixture mirroring the exec scheduler's Run worker pool with the
+// per-item Poll calls deleted — the exact regression ctxpoll exists to
+// catch. The fixture is loaded under an import path ending in
+// internal/exec, so every function is in scope regardless of stage
+// interfaces. The fill and spawn loops carry the same reasoned ignores
+// the real scheduler does; the worker, serial, and drain loops fire.
+package exec
+
+import "sync"
+
+type Scheduler struct {
+	err  error
+	done chan struct{}
+}
+
+func (s *Scheduler) Poll() error { return s.err }
+func (s *Scheduler) Err() error  { return s.err }
+
+// Run is the worker-pool shape of exec.Run with s.Poll() removed from
+// the worker's per-item loop.
+func Run(s *Scheduler, n, workers int, fn func(int) error) error {
+	queue := make(chan int, n)
+	//opvet:ignore ctxpoll sends are bounded by the queue capacity n and never block
+	for i := 0; i < n; i++ {
+		queue <- i
+	}
+	close(queue)
+	var wg sync.WaitGroup
+	//opvet:ignore ctxpoll spawn loop bounded by the worker count
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue { // want: worker loop with the Poll deleted
+				_ = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return s.Err()
+}
+
+// RunSerial is the single-worker path with its Poll deleted.
+func RunSerial(s *Scheduler, n int, fn func(int) error) error {
+	for i := 0; i < n; i++ { // want: serial loop with the Poll deleted
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return s.Err()
+}
+
+// Drain spins on a queue forever without consulting cancellation.
+func Drain(s *Scheduler, queue chan int) int {
+	taken := 0
+	for { // want: unbounded drain loop without a poll
+		select {
+		case _, ok := <-queue:
+			if !ok {
+				return taken
+			}
+			taken++
+		case <-s.done:
+			return taken
+		}
+	}
+}

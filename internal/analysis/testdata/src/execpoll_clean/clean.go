@@ -1,0 +1,73 @@
+// True-negative mirror of the exec scheduler's Run: identical pool
+// shape to the execpoll fixture, with the per-item Poll calls present —
+// exactly what the real internal/exec does. Loaded under an import path
+// ending in internal/exec.
+package exec
+
+import "sync"
+
+type Scheduler struct {
+	err  error
+	done chan struct{}
+}
+
+func (s *Scheduler) Poll() error { return s.err }
+func (s *Scheduler) Err() error  { return s.err }
+
+// Run mirrors exec.Run: workers poll once per dequeued item.
+func Run(s *Scheduler, n, workers int, fn func(int) error) error {
+	queue := make(chan int, n)
+	//opvet:ignore ctxpoll sends are bounded by the queue capacity n and never block
+	for i := 0; i < n; i++ {
+		queue <- i
+	}
+	close(queue)
+	var wg sync.WaitGroup
+	//opvet:ignore ctxpoll spawn loop bounded by the worker count; each worker polls per item
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				if s.Poll() != nil {
+					continue // drain without processing
+				}
+				_ = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return s.Err()
+}
+
+// RunSerial mirrors the single-worker path: poll before every item.
+func RunSerial(s *Scheduler, n int, fn func(int) error) error {
+	for i := 0; i < n; i++ {
+		if err := s.Poll(); err != nil {
+			return err
+		}
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return s.Err()
+}
+
+// Drain checks the done channel via Poll on every spin.
+func Drain(s *Scheduler, queue chan int) int {
+	taken := 0
+	for {
+		if s.Poll() != nil {
+			return taken
+		}
+		select {
+		case _, ok := <-queue:
+			if !ok {
+				return taken
+			}
+			taken++
+		case <-s.done:
+			return taken
+		}
+	}
+}

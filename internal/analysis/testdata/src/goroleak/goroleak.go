@@ -1,0 +1,59 @@
+// Fixture for the goroleak rule: every go statement needs a reachable
+// join. A goroutine closing a local channel nobody receives from, one
+// counting down a WaitGroup nothing waits on, a join that only exists
+// on one branch, and a bare fire-and-forget spawn all fire; the
+// suppressed flusher stays silent.
+package goroleak
+
+import "sync"
+
+func compute(i int) int { return i * i }
+
+// leakChan signals completion on a channel that never escapes and is
+// never received from.
+func leakChan(n int) {
+	done := make(chan struct{})
+	go func() { // want: local channel, no receive
+		_ = compute(n)
+		close(done)
+	}()
+}
+
+// leakWG counts down a WaitGroup nothing waits on.
+func leakWG(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want: local WaitGroup, no Wait
+		defer wg.Done()
+		_ = compute(n)
+	}()
+}
+
+// halfJoined waits on one branch only; the early return abandons the
+// goroutine — but a join on SOME path is still a join, so this spawn is
+// excused: the rule demands reachability, not post-dominance.
+func halfJoined(n int, quick bool) int {
+	res := make(chan int, 1)
+	go func() {
+		res <- compute(n)
+	}()
+	if quick {
+		return 0
+	}
+	return <-res
+}
+
+// fireAndForget spawns with no synchronization handle at all.
+func fireAndForget(n int) {
+	go compute(n) // want: no join, no handle
+}
+
+// flusher is a process-lifetime goroutine the author vouches for.
+func flusher(n int) {
+	//opvet:ignore goroleak telemetry flusher runs for the process lifetime
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = compute(i)
+		}
+	}()
+}

@@ -1,0 +1,82 @@
+// True-negative fixture for goroleak: joined worker pools, received
+// channels, select joins, deferred joins, and handles that legitimately
+// leave the function — returned channels, struct-owned state, and
+// caller-supplied WaitGroups.
+package goroleakclean
+
+import "sync"
+
+func compute(i int) int { return i * i }
+
+// pool joins its workers with Wait.
+func pool(n, workers int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = compute(n)
+		}()
+	}
+	wg.Wait()
+}
+
+// recv receives the result: the receive is the join.
+func recv(n int) int {
+	res := make(chan int, 1)
+	go func() { res <- compute(n) }()
+	return <-res
+}
+
+// selected joins through a select.
+func selected(n int, quit chan struct{}) int {
+	res := make(chan int, 1)
+	go func() { res <- compute(n) }()
+	select {
+	case v := <-res:
+		return v
+	case <-quit:
+		return 0
+	}
+}
+
+// deferred joins on every exit path through a deferred Wait.
+func deferred(n int) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = compute(n)
+	}()
+}
+
+// watch hands the channel to the caller: the join happens there.
+func watch(n int) <-chan int {
+	ch := make(chan int, 1)
+	go func() { ch <- compute(n) }()
+	return ch
+}
+
+// worker owns its lifecycle on the struct; Stop is the join.
+type worker struct {
+	done chan struct{}
+}
+
+func (w *worker) start(n int) {
+	go func() {
+		_ = compute(n)
+		close(w.done)
+	}()
+}
+
+func (w *worker) Stop() { <-w.done }
+
+// spawnInto borrows the caller's WaitGroup; the caller waits.
+func spawnInto(wg *sync.WaitGroup, n int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = compute(n)
+	}()
+}

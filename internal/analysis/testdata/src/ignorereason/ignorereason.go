@@ -1,0 +1,30 @@
+// Fixture for the ignorereason meta-rule: every //opvet:ignore must
+// name existing rules and end with a reason. Bare blanket ignores,
+// reasonless rule lists, and unknown rule names fire; well-formed
+// ignores stay silent.
+package ignorereason
+
+func value(a, b float64) bool {
+	//opvet:ignore
+	return a == b // want: bare blanket ignore above
+}
+
+func reasonless(a, b float64) bool {
+	//opvet:ignore floatcmp
+	return a == b // want: rule list with no reason above
+}
+
+func typoed(a, b float64) bool {
+	//opvet:ignore floatcmpp comparing quantized grid values
+	return a == b // want: unknown rule name above (the suppression is dead)
+}
+
+func mixedList(a, b float64) bool {
+	//opvet:ignore floatcmp,nosuchrule comparing quantized grid values
+	return a == b // want: unknown rule in an otherwise valid list above
+}
+
+func wellFormed(a, b float64) bool {
+	//opvet:ignore floatcmp comparing quantized grid values
+	return a == b
+}

@@ -1,0 +1,21 @@
+// True-negative fixture for ignorereason: every ignore names real
+// rules and carries a reason — including the one way to grandfather a
+// legacy blanket ignore: explicitly suppressing ignorereason itself,
+// with a reason, on the line above it.
+package ignorereasonclean
+
+func tolerated(a, b float64) bool {
+	//opvet:ignore floatcmp comparing quantized grid values
+	return a == b
+}
+
+func multi(a, b float64) bool {
+	//opvet:ignore floatcmp,errcheck-lite grid values are exact and the error is logged upstream
+	return a == b
+}
+
+func grandfathered(a, b float64) bool {
+	//opvet:ignore ignorereason legacy blanket ignore, scheduled for cleanup
+	//opvet:ignore
+	return a == b
+}

@@ -88,6 +88,9 @@ func (st fileDetect) run(ses *session) error {
 	indicators := make([]*bufio.Writer, sigma)
 	files := make([]*os.File, sigma)
 	for k := range indicators {
+		if err := ses.sched.Poll(); err != nil {
+			return err
+		}
 		files[k], err = os.Create(filepath.Join(work, fmt.Sprintf("ind-%d.bin", k)))
 		if err != nil {
 			return err
@@ -97,16 +100,21 @@ func (st fileDetect) run(ses *session) error {
 	buf := make([]byte, 64*1024)
 	read := 0
 	for read < n {
+		if err := ses.sched.Poll(); err != nil {
+			return err
+		}
 		want := min(len(buf), n-read)
 		got, err := io.ReadFull(br, buf[:want])
 		if err != nil {
 			return fmt.Errorf("core: truncated series body: %v", err)
 		}
+		//opvet:ignore ctxpoll bounded by the 64K read chunk; the enclosing loop polls per chunk
 		for i := 0; i < got; i++ {
 			k := int(buf[i])
 			if k >= sigma {
 				return fmt.Errorf("core: symbol byte %d at position %d exceeds σ=%d", buf[i], read+i, sigma)
 			}
+			//opvet:ignore ctxpoll bounded by σ buffered writes; polling per symbol would dominate the pass
 			for j := range indicators {
 				bit := byte(0)
 				if j == k {
@@ -120,6 +128,9 @@ func (st fileDetect) run(ses *session) error {
 		read += got
 	}
 	for k := range indicators {
+		if err := ses.sched.Poll(); err != nil {
+			return err
+		}
 		if err := indicators[k].Flush(); err != nil {
 			return err
 		}

@@ -175,11 +175,13 @@ func (s *Scheduler) Run(n, workers int, worker func(w int) func(i int) error) er
 	if s.met != nil {
 		s.met.QueueDepth().Add(int64(n))
 	}
+	//opvet:ignore ctxpoll sends are bounded by the queue's capacity n and never block
 	for i := 0; i < n; i++ {
 		queue <- i
 	}
 	close(queue)
 	var wg sync.WaitGroup
+	//opvet:ignore ctxpoll spawn loop bounded by the worker count; each worker polls per item
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -93,14 +94,39 @@ func ResetTuned() {
 	tunedProfile.Store(nil)
 }
 
-// Save writes the profile as indented JSON at path.
-func (p *TunedProfile) Save(path string) error {
+// Save writes the profile as indented JSON at path, through the same
+// write-temp → fsync → rename seam the store uses: a crash mid-save must
+// not leave a truncated profile that poisons every later startup.
+func (p *TunedProfile) Save(path string) (err error) {
 	data, err := json.MarshalIndent(p, "", "  ")
 	if err != nil {
 		return fmt.Errorf("fft: encode tuned profile: %w", err)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
 		return fmt.Errorf("fft: write tuned profile: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			_ = tmp.Close()        // may already be closed; the first error wins
+			_ = os.Remove(tmpName) // best-effort cleanup on the error path
+		}
+	}()
+	if _, err = tmp.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("fft: write tuned profile: %w", err)
+	}
+	if err = tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("fft: write tuned profile: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("fft: sync tuned profile: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("fft: close tuned profile: %w", err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("fft: commit tuned profile: %w", err)
 	}
 	return nil
 }

@@ -330,6 +330,7 @@ func (db *DB) quarantineFile(name string) error {
 		}
 		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", name, n))
 	}
+	//opvet:ignore commitpath moves an already-committed file; its content was fsynced when written, and SyncDir follows
 	if err := db.fs.Rename(filepath.Join(db.dir, name), dst); err != nil {
 		return err
 	}
