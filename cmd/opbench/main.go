@@ -12,6 +12,7 @@
 //	opbench table3          # multi-symbol patterns, Wal-Mart, ψ=35%
 //	opbench kernels         # per-kernel convolution breakdown (complex vs
 //	                        # real vs four-step, tuned vs pinned crossovers)
+//	opbench dist            # sharded-coordinator scaling vs the local mine
 //	opbench all
 //
 // The default scale finishes in minutes; -quick names it explicitly (CI
@@ -117,6 +118,8 @@ func main() {
 			err = table3(sc, *seed)
 		case "kernels":
 			err = kernels(sc, *seed, *benchJSON)
+		case "dist":
+			err = distBench(sc, *seed, *benchJSON)
 		case "ablation":
 			err = ablation(sc, *seed)
 		case "quality":

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"periodica"
+	"periodica/internal/cli"
 	"periodica/internal/series"
 )
 
@@ -60,21 +61,13 @@ func main() {
 
 	// Tuning only moves work between byte-identical kernels, so it can never
 	// change what gets mined — apply it before anything touches the engine.
-	switch {
-	case *autotune > 0 && *tuneFile != "":
-		if err := periodica.AutotuneToFile(*autotune, *tuneFile); err != nil {
-			fatal(err)
-		}
-	case *autotune > 0:
-		periodica.Autotune(*autotune)
-	case *tuneFile != "":
-		if err := periodica.LoadTuneFile(*tuneFile); err != nil {
-			fatal(err)
-		}
-	default:
-		if _, err := periodica.LoadTuneFromEnv(); err != nil {
-			fatal(err)
-		}
+	// Explicit -tune/-autotune failures are fatal; a broken environment
+	// profile only warns and mines on the pinned defaults.
+	err := cli.BootstrapTuning(*autotune, *tuneFile, func(msg string) {
+		fmt.Fprintln(os.Stderr, "opminer: warning:", msg)
+	})
+	if err != nil {
+		fatal(err)
 	}
 
 	s, err := readSeries(*in, *format, prepConfig{

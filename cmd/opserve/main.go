@@ -27,13 +27,28 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
-	"periodica"
+	"periodica/internal/cli"
+	"periodica/internal/dist"
 	"periodica/internal/fft"
 	"periodica/internal/httpapi"
 )
+
+// parseWorkers splits the -workers flag: comma-separated base URLs with
+// whitespace tolerated, empties dropped, and trailing slashes trimmed (the
+// shard client appends its own path).
+func parseWorkers(s string) []string {
+	var out []string
+	for _, w := range strings.Split(s, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			out = append(out, strings.TrimRight(w, "/"))
+		}
+	}
+	return out
+}
 
 func main() {
 	os.Exit(run())
@@ -47,6 +62,12 @@ func run() int {
 	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	tuneFile := flag.String("tune", "", "load a convolution tuned-profile JSON (default $PERIODICA_TUNE_FILE)")
 	autotune := flag.Duration("autotune", 0, "calibrate the convolution crossovers at startup (sweep duration; with -tune, saves the profile there)")
+	workers := flag.String("workers", "", "comma-separated worker base URLs; when set, /v1/mine is sharded across them (this process coordinates)")
+	shardsPerWorker := flag.Int("shards-per-worker", 0, "distributed: target shards per worker (0 = default 2)")
+	shardAttempts := flag.Int("shard-attempts", 0, "distributed: dispatch attempts per shard before local fallback (0 = default 3)")
+	shardBackoff := flag.Duration("shard-retry-backoff", 0, "distributed: base retry backoff, doubled per attempt with jitter (0 = default 100ms)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "distributed: re-dispatch a straggling shard to a second worker after this long (0 = off)")
+	noLocalFallback := flag.Bool("no-local-fallback", false, "distributed: fail a shard that exhausts its attempts instead of computing it locally")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -54,25 +75,14 @@ func run() int {
 	// Tuning moves work between byte-identical kernels, so it changes serving
 	// latency but never a response body. Calibrate/load before accepting
 	// traffic and log the provenance so deployments can tell tuned replicas
-	// from pinned ones.
-	switch {
-	case *autotune > 0 && *tuneFile != "":
-		if err := periodica.AutotuneToFile(*autotune, *tuneFile); err != nil {
-			fmt.Fprintf(os.Stderr, "opserve: autotune: %v\n", err)
-			return 1
-		}
-	case *autotune > 0:
-		periodica.Autotune(*autotune)
-	case *tuneFile != "":
-		if err := periodica.LoadTuneFile(*tuneFile); err != nil {
-			fmt.Fprintf(os.Stderr, "opserve: %v\n", err)
-			return 1
-		}
-	default:
-		if _, err := periodica.LoadTuneFromEnv(); err != nil {
-			fmt.Fprintf(os.Stderr, "opserve: %s: %v\n", periodica.TuneFileEnv, err)
-			return 1
-		}
+	// from pinned ones. The explicit flags are hard requirements; an
+	// environment profile is advisory and falls back to pinned defaults.
+	err := cli.BootstrapTuning(*autotune, *tuneFile, func(msg string) {
+		logger.Warn("tuning profile skipped", "reason", msg)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "opserve: %v\n", err)
+		return 1
 	}
 	if p := fft.Tuned(); p != nil {
 		logger.Info("fft tuned profile applied",
@@ -84,11 +94,32 @@ func run() int {
 		logger.Info("fft tuning: pinned defaults (no profile)")
 	}
 
+	var distributor httpapi.Distributor
+	if urls := parseWorkers(*workers); len(urls) > 0 {
+		coord, err := dist.New(dist.Config{
+			Workers:              urls,
+			ShardsPerWorker:      *shardsPerWorker,
+			MaxAttempts:          *shardAttempts,
+			RetryBackoff:         *shardBackoff,
+			HedgeAfter:           *hedgeAfter,
+			DisableLocalFallback: *noLocalFallback,
+			Logger:               logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opserve: %v\n", err)
+			return 1
+		}
+		distributor = coord
+		logger.Info("distributed mining enabled",
+			"workers", urls, "hedgeAfter", *hedgeAfter, "localFallback", !*noLocalFallback)
+	}
+
 	api := httpapi.New(httpapi.Config{
 		MaxConcurrency: *maxConcurrency,
 		RequestTimeout: *requestTimeout,
 		EnablePprof:    *pprof,
 		Logger:         logger,
+		Distributor:    distributor,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

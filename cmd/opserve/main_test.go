@@ -1,0 +1,24 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseWorkers(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{" , ,", nil},
+		{"http://a:1", []string{"http://a:1"}},
+		{"http://a:1,http://b:2", []string{"http://a:1", "http://b:2"}},
+		{" http://a:1 , http://b:2/ ,", []string{"http://a:1", "http://b:2"}},
+	}
+	for _, c := range cases {
+		if got := parseWorkers(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseWorkers(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package cli holds bootstrap logic shared by the periodica commands.
+package cli
+
+import (
+	"fmt"
+	"time"
+
+	"periodica"
+)
+
+// BootstrapTuning applies convolution tuning before a command starts mining.
+// Precedence: autotune-and-save, autotune, explicit profile file, then the
+// PERIODICA_TUNE_FILE environment variable.
+//
+// The explicit flags are hard requirements — a bad path or profile is an
+// error the caller should exit on. The environment profile is advisory: a
+// missing or unparseable file emits one warning through warn and the process
+// continues on the pinned defaults (after a reset, so nothing partially
+// applied lingers). Tuning only moves work between byte-identical kernels,
+// so serving degraded beats having a fleet-wide env push with a stale path
+// take every replica down.
+func BootstrapTuning(autotune time.Duration, tuneFile string, warn func(msg string)) error {
+	switch {
+	case autotune > 0 && tuneFile != "":
+		return periodica.AutotuneToFile(autotune, tuneFile)
+	case autotune > 0:
+		periodica.Autotune(autotune)
+	case tuneFile != "":
+		return periodica.LoadTuneFile(tuneFile)
+	default:
+		if _, err := periodica.LoadTuneFromEnv(); err != nil {
+			periodica.ResetTuning()
+			warn(fmt.Sprintf("%s: %v; continuing with pinned defaults", periodica.TuneFileEnv, err))
+		}
+	}
+	return nil
+}

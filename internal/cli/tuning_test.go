@@ -1,0 +1,69 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"periodica"
+	"periodica/internal/fft"
+)
+
+func TestBootstrapTuningEnvMissingFileIsAdvisory(t *testing.T) {
+	t.Cleanup(periodica.ResetTuning)
+	t.Setenv(periodica.TuneFileEnv, filepath.Join(t.TempDir(), "nope.json"))
+	var warned string
+	if err := BootstrapTuning(0, "", func(msg string) { warned = msg }); err != nil {
+		t.Fatalf("missing env profile became an error: %v", err)
+	}
+	if !strings.Contains(warned, "pinned defaults") {
+		t.Fatalf("warning %q does not explain the fallback", warned)
+	}
+	if fft.Tuned() != nil {
+		t.Fatal("a profile is applied after a failed env load")
+	}
+}
+
+func TestBootstrapTuningEnvGarbageIsAdvisory(t *testing.T) {
+	t.Cleanup(periodica.ResetTuning)
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(periodica.TuneFileEnv, path)
+	warned := false
+	if err := BootstrapTuning(0, "", func(string) { warned = true }); err != nil {
+		t.Fatalf("unparseable env profile became an error: %v", err)
+	}
+	if !warned {
+		t.Fatal("no warning for an unparseable env profile")
+	}
+}
+
+func TestBootstrapTuningExplicitFileIsRequired(t *testing.T) {
+	t.Cleanup(periodica.ResetTuning)
+	err := BootstrapTuning(0, filepath.Join(t.TempDir(), "nope.json"), func(msg string) {
+		t.Errorf("explicit -tune failure downgraded to warning: %s", msg)
+	})
+	if err == nil {
+		t.Fatal("missing explicit profile did not error")
+	}
+}
+
+func TestBootstrapTuningEnvValidProfileApplies(t *testing.T) {
+	t.Cleanup(periodica.ResetTuning)
+	path := filepath.Join(t.TempDir(), "tuned.json")
+	if err := periodica.AutotuneToFile(time.Millisecond, path); err != nil {
+		t.Fatal(err)
+	}
+	periodica.ResetTuning()
+	t.Setenv(periodica.TuneFileEnv, path)
+	if err := BootstrapTuning(0, "", func(msg string) { t.Errorf("unexpected warning: %s", msg) }); err != nil {
+		t.Fatal(err)
+	}
+	if fft.Tuned() == nil {
+		t.Fatal("valid env profile was not applied")
+	}
+}

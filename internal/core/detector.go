@@ -18,12 +18,15 @@ type detector struct {
 	s        *series.Series
 	eng      Engine
 	minPairs int // minimum Definition-1 denominator to qualify (≥ 1)
-	ind      *conv.Indicators
-	lag      [][]int64 // FFT lag-match counts, lag[k][p]
-	match    *bitvec.Vector
-	counts   []int   // phase-count scratch; only touched entries are non-zero
-	touched  []int   // phases with non-zero counts, for output-sensitive reset
-	surv     []int32 // surviving-symbol scratch for the fused detect path
+	// symLo and symHi restrict the sweep to symbols [symLo, symHi) — the
+	// distributed shard seam; symHi 0 means the whole alphabet.
+	symLo, symHi int
+	ind          *conv.Indicators
+	lag          [][]int64 // FFT lag-match counts, lag[k][p]
+	match        *bitvec.Vector
+	counts       []int   // phase-count scratch; only touched entries are non-zero
+	touched      []int   // phases with non-zero counts, for output-sensitive reset
+	surv         []int32 // surviving-symbol scratch for the fused detect path
 }
 
 func newDetector(s *series.Series, eng Engine) *detector {
@@ -116,11 +119,15 @@ func (d *detector) detectNaive(p int, psi float64, emit func(SymbolPeriodicity))
 // otherwise.
 func (d *detector) survivors(p int, psi float64, dst []int32) []int32 {
 	n, sigma := d.n(), d.sigma()
+	lo, hi := d.symLo, d.symHi
+	if hi <= 0 || hi > sigma {
+		hi = sigma
+	}
 	minPairs := pairsAt(n, p, p-1)
 	if minPairs < d.minPairs {
 		minPairs = d.minPairs
 	}
-	for k := 0; k < sigma; k++ {
+	for k := lo; k < hi; k++ {
 		var r int64
 		switch d.eng {
 		case EngineFFT:

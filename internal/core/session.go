@@ -63,6 +63,12 @@ type session struct {
 	opt   Options
 	eng   Engine
 
+	// symLo and symHi restrict the sweep and resolve stages to symbols
+	// [symLo, symHi) — the distributed shard seam; symHi 0 means the whole
+	// alphabet. Detect still precomputes every symbol's inputs (the batched
+	// FFT pairs symbols), but only the shard's symbols are resolved.
+	symLo, symHi int
+
 	sched      *exec.Scheduler
 	plans      *fft.PlanCache
 	met        *obs.ExecMetrics
@@ -73,6 +79,7 @@ type session struct {
 	lag   [][]int64
 	surv  [][]int32 // surviving symbols per period index (sweep → resolve)
 	res   *Result
+	slots []SymbolPeriodicity // resolveSlots output (distributed shard path)
 	cands []CandidatePeriod
 }
 
@@ -218,6 +225,8 @@ func (ses *session) newWorkerDetector() *detector {
 		s:        ses.s,
 		eng:      ses.eng,
 		minPairs: ses.opt.MinPairs,
+		symLo:    ses.symLo,
+		symHi:    ses.symHi,
 		ind:      ses.ind,
 		lag:      ses.lag,
 	}
@@ -289,7 +298,13 @@ type resolvePhases struct{}
 
 func (resolvePhases) name() string { return "resolve" }
 
-func (resolvePhases) run(ses *session) error {
+// collectPerPeriod is the shared heart of the resolve stage: for each
+// candidate period's surviving symbols it computes the exact per-phase counts
+// F2(s_k, π_{p,l}), sharded per period over the scheduler with per-worker
+// scratch. Slot i holds period MinPeriod+i's periodicities — the per-period
+// slot seam that makes results byte-identical at any worker count, and that
+// the distributed tier ships across processes.
+func collectPerPeriod(ses *session) ([][]SymbolPeriodicity, error) {
 	lo := ses.opt.MinPeriod
 	span := ses.opt.MaxPeriod - lo + 1
 	perPeriod := make([][]SymbolPeriodicity, span)
@@ -318,8 +333,17 @@ func (resolvePhases) run(ses *session) error {
 		}
 	})
 	if err != nil {
+		return nil, err
+	}
+	return perPeriod, nil
+}
+
+func (resolvePhases) run(ses *session) error {
+	perPeriod, err := collectPerPeriod(ses)
+	if err != nil {
 		return err
 	}
+	lo := ses.opt.MinPeriod
 	res := &Result{N: ses.n, Sigma: ses.sigma, Threshold: ses.opt.Threshold}
 	periodSet := map[int]bool{}
 	for i, list := range perPeriod {

@@ -1,0 +1,112 @@
+package core
+
+// The distributed shard seam. A mine's sweep and resolve stages partition
+// cleanly over (symbol × candidate-period) blocks: each block's per-period
+// slots are computed independently (MineShardSlots, run on worker nodes),
+// and the union of the blocks' slots is exactly the single-process resolve
+// output, so reassembly (AssembleFromSlots, run on the coordinator) is a
+// concatenation, the canonical result sort, and the pattern-enumeration
+// stage over the merged periodicities. Byte-identical by construction: every
+// slot value is an integer pair (F2, Pairs) computed from the same read-only
+// inputs a single-process mine uses, confidences are re-derived from those
+// integers by the same division, and the result sort has a total order —
+// merge order can never show through.
+
+import (
+	"context"
+
+	"periodica/internal/series"
+)
+
+// NormalizeOptions validates opt against a series of length n and fills in
+// the same defaults Mine applies (period bounds, pattern caps, MinPairs).
+// The distributed coordinator normalizes once, so every shard it cuts and
+// every worker it dispatches to sees identical explicit bounds.
+func NormalizeOptions(opt Options, n int) (Options, error) {
+	return opt.withDefaults(n)
+}
+
+// MineShardSlots computes one shard of a mine: the symbol periodicities of
+// symbols [symLo, symHi) over candidate periods [opt.MinPeriod,
+// opt.MaxPeriod], exactly as the resolve stage of a single-process mine
+// would emit them for those (symbol, period) cells. The slots are raw —
+// unsorted across periods, no derived patterns — because assembly is the
+// coordinator's job. Engine selection treats the run as parallel (the naive
+// engine is substituted by the bitset engine, which shards cleanly and
+// shares its semantics exactly), so any engine request yields identical
+// slot values.
+func MineShardSlots(ctx context.Context, s *series.Series, opt Options, symLo, symHi int) ([]SymbolPeriodicity, error) {
+	ses, err := newSession(s, opt, sessionConfig{parallel: true, cancel: ctx.Err})
+	if err != nil {
+		return nil, err
+	}
+	if symLo < 0 || symHi > ses.sigma || symLo >= symHi {
+		return nil, invalidf("core: shard symbol range [%d,%d) outside [0,%d)", symLo, symHi, ses.sigma)
+	}
+	ses.symLo, ses.symHi = symLo, symHi
+	if err := ses.runPipeline(memoryDetect{}, sweepPeriods{}, resolveSlots{}); err != nil {
+		return nil, err
+	}
+	return ses.slots, nil
+}
+
+// resolveSlots is the resolve stage of a shard: the same per-period slot
+// collection resolvePhases performs, flattened in period order and handed
+// back raw instead of being assembled into a Result.
+type resolveSlots struct{}
+
+func (resolveSlots) name() string { return "resolve" }
+
+func (resolveSlots) run(ses *session) error {
+	perPeriod, err := collectPerPeriod(ses)
+	if err != nil {
+		return err
+	}
+	for _, list := range perPeriod {
+		ses.slots = append(ses.slots, list...)
+	}
+	ses.surv = nil // consumed
+	return nil
+}
+
+// AssembleFromSlots merges shard slots back into a full Result over s: it
+// validates and deduplicates the slots (a malformed or duplicated slot is an
+// invalid-input error — the coordinator's per-shard-ID merge should have
+// made duplicates impossible), re-derives each confidence from its integer
+// F2/Pairs pair, applies the canonical result sort, and runs the
+// pattern-enumeration stage over the merged periodicities. opt is the
+// original full-range option set; with slots from a shard plan covering that
+// range, the Result is byte-identical to the single-process Mine.
+func AssembleFromSlots(ctx context.Context, s *series.Series, opt Options, slots []SymbolPeriodicity) (*Result, error) {
+	ses, err := newSession(s, opt, sessionConfig{parallel: true, cancel: ctx.Err})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{N: ses.n, Sigma: ses.sigma, Threshold: ses.opt.Threshold}
+	periodSet := map[int]bool{}
+	seen := map[[3]int]bool{}
+	for _, sp := range slots {
+		if sp.Symbol < 0 || sp.Symbol >= ses.sigma ||
+			sp.Period < ses.opt.MinPeriod || sp.Period > ses.opt.MaxPeriod ||
+			sp.Position < 0 || sp.Position >= sp.Period ||
+			sp.F2 < 1 || sp.Pairs < 1 || sp.F2 > sp.Pairs {
+			return nil, invalidf("core: shard slot out of range: symbol=%d period=%d position=%d F2=%d pairs=%d",
+				sp.Symbol, sp.Period, sp.Position, sp.F2, sp.Pairs)
+		}
+		sp.Confidence = float64(sp.F2) / float64(sp.Pairs)
+		key := [3]int{sp.Symbol, sp.Period, sp.Position}
+		if seen[key] {
+			return nil, invalidf("core: duplicate shard slot: symbol=%d period=%d position=%d",
+				sp.Symbol, sp.Period, sp.Position)
+		}
+		seen[key] = true
+		res.Periodicities = append(res.Periodicities, sp)
+		periodSet[sp.Period] = true
+	}
+	finishResult(res, periodSet)
+	ses.res = res
+	if err := ses.runPipeline(enumeratePatterns{}); err != nil {
+		return nil, err
+	}
+	return ses.res, nil
+}

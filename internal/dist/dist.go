@@ -1,0 +1,403 @@
+// Package dist is the distributed mining tier: a coordinator that cuts a
+// mine into (symbol × candidate-period) shards, dispatches them to worker
+// nodes over the httpapi /v1/shard endpoint, and merges the returned slots
+// into a Result byte-identical to a single-process mine at any shard plan.
+//
+// Fault handling: each worker carries a consecutive-failure count and is
+// skipped while unhealthy; a failed shard is retried on another worker with
+// jittered exponential backoff, up to a bounded attempt budget; a straggling
+// shard is optionally hedged — re-dispatched once to a second worker, first
+// response wins; and a shard that exhausts its budget falls back to local
+// in-process computation unless disabled. Hedging is duplicate-safe because
+// a shard's result is accepted exactly once, keyed by its shard ID, and the
+// merge re-derives every confidence from integer counts.
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"sync"
+	"time"
+
+	"periodica"
+	"periodica/internal/alphabet"
+	"periodica/internal/core"
+	"periodica/internal/exec"
+	"periodica/internal/httpapi"
+	"periodica/internal/obs"
+	"periodica/internal/series"
+)
+
+// unhealthyAfter is the consecutive-failure count at which a worker stops
+// receiving new shards until it answers one successfully again.
+const unhealthyAfter = 3
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Workers are worker base URLs ("http://host:port"); at least one.
+	Workers []string
+	// ShardsPerWorker scales the shard plan: the coordinator targets
+	// ShardsPerWorker × len(Workers) shards, so a slow worker delays at
+	// most 1/target of the mine. Default 2.
+	ShardsPerWorker int
+	// MaxAttempts bounds the dispatch attempts per shard, including the
+	// first. Default 3.
+	MaxAttempts int
+	// RetryBackoff is the base delay before a retry, doubled per attempt
+	// with ±50% jitter. Default 100ms.
+	RetryBackoff time.Duration
+	// HedgeAfter re-dispatches a shard to a second worker when the first
+	// has not answered within this window; the first response wins and the
+	// loser is discarded. 0 disables hedging.
+	HedgeAfter time.Duration
+	// Client issues the shard calls; nil means a zero httpapi.ShardClient.
+	Client *httpapi.ShardClient
+	// DisableLocalFallback turns exhausting a shard's attempt budget into a
+	// hard error instead of computing the shard in-process.
+	DisableLocalFallback bool
+	// Logger receives dispatch warnings; nil means slog.Default().
+	Logger *slog.Logger
+}
+
+// Coordinator implements httpapi.Distributor over a fixed worker set.
+type Coordinator struct {
+	cfg    Config
+	client *httpapi.ShardClient
+	log    *slog.Logger
+
+	mu    sync.Mutex
+	rr    int            // round-robin cursor over cfg.Workers
+	fails map[string]int // consecutive failures per worker
+}
+
+// New builds a Coordinator; it requires at least one worker URL.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("dist: at least one worker required")
+	}
+	if cfg.ShardsPerWorker <= 0 {
+		cfg.ShardsPerWorker = 2
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	if cfg.Client == nil {
+		cfg.Client = &httpapi.ShardClient{}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	return &Coordinator{
+		cfg:    cfg,
+		client: cfg.Client,
+		log:    cfg.Logger,
+		fails:  map[string]int{},
+	}, nil
+}
+
+// Mine shards the request across the worker set and reassembles the result.
+// It is byte-identical to periodica.MineContext on the same series and
+// options: the wire carries integer counts only, every engine computes
+// identical slot values, and the merge applies the same canonical sort and
+// pattern enumeration a single-process mine does.
+func (c *Coordinator) Mine(ctx context.Context, s *periodica.Series, opt periodica.Options) (*periodica.Result, error) {
+	alpha, err := alphabet.New(s.Alphabet()...)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	text := s.String()
+	ser, err := series.FromAlphabetText(alpha, text)
+	if err != nil {
+		// The wire format carries single-rune symbols; a series whose text
+		// does not round-trip cannot be distributed.
+		return nil, fmt.Errorf("dist: series is not wire-encodable: %w", err)
+	}
+	norm, err := core.NormalizeOptions(coreOptions(opt), ser.Len())
+	if err != nil {
+		return nil, err
+	}
+	target := c.cfg.ShardsPerWorker * len(c.cfg.Workers)
+	plan := exec.PlanShards(alpha.Size(), norm.MinPeriod, norm.MaxPeriod, target)
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("dist: empty shard plan for periods [%d,%d]", norm.MinPeriod, norm.MaxPeriod)
+	}
+
+	engine := norm.Engine.String()
+	results := make([][]core.SymbolPeriodicity, len(plan))
+	errs := make([]error, len(plan))
+	var wg sync.WaitGroup
+	for i, sh := range plan {
+		req := httpapi.ShardRequest{
+			ShardID:   sh.ID,
+			Alphabet:  alpha.Symbols(),
+			Symbols:   text,
+			Threshold: norm.Threshold, MinPeriod: sh.MinPeriod, MaxPeriod: sh.MaxPeriod,
+			SymbolLo: sh.SymbolLo, SymbolHi: sh.SymbolHi,
+			MinPairs: norm.MinPairs, Engine: engine,
+		}
+		wg.Add(1)
+		go func(i int, req httpapi.ShardRequest) {
+			defer wg.Done()
+			results[i], errs[i] = c.runShard(ctx, ser, norm, req)
+		}(i, req)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	var slots []core.SymbolPeriodicity
+	for _, part := range results {
+		slots = append(slots, part...)
+	}
+	res, err := core.AssembleFromSlots(ctx, ser, norm, slots)
+	if err != nil {
+		return nil, err
+	}
+	if opt.MaximalOnly {
+		res.Patterns = core.FilterMaximal(res.Patterns)
+	}
+	return convertResult(alpha, res), nil
+}
+
+// attemptResult is one dispatch outcome; the winning result per shard is the
+// first successful one received.
+type attemptResult struct {
+	worker  string
+	slots   []core.SymbolPeriodicity
+	err     error
+	elapsed time.Duration
+}
+
+// runShard drives one shard to completion: dispatch, bounded retries with
+// jittered backoff, an optional single hedge, and the local fallback. The
+// result channel is buffered for every launch the budget allows, so a
+// discarded (hedged-loser or post-fallback) attempt never blocks and its
+// goroutine always exits.
+func (c *Coordinator) runShard(ctx context.Context, ser *series.Series, norm core.Options, req httpapi.ShardRequest) ([]core.SymbolPeriodicity, error) {
+	shardCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	resCh := make(chan attemptResult, c.cfg.MaxAttempts+1)
+	inFlight := map[string]bool{}
+	launch := func(excludeInFlight bool) {
+		var exclude map[string]bool
+		if excludeInFlight {
+			exclude = inFlight
+		}
+		worker := c.pickWorker(exclude)
+		inFlight[worker] = true
+		//opvet:ignore goroleak joined by the select receive on resCh in runShard; the buffer holds every possible launch so a losing attempt's send never blocks
+		go func() {
+			start := time.Now()
+			resp, err := c.client.MineShard(shardCtx, worker, &req)
+			r := attemptResult{worker: worker, err: err, elapsed: time.Since(start)}
+			if err == nil {
+				r.slots = slotsFromWire(resp.Slots)
+			}
+			resCh <- r
+		}()
+	}
+
+	attempts := 1 // budgeted launches; the hedge is extra
+	pending := 1
+	launch(false)
+
+	var hedgeC <-chan time.Time
+	if c.cfg.HedgeAfter > 0 && len(c.cfg.Workers) > 1 {
+		hedgeTimer := time.NewTimer(c.cfg.HedgeAfter)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+	var backoffC <-chan time.Time
+
+	for {
+		select {
+		case r := <-resCh:
+			pending--
+			delete(inFlight, r.worker)
+			c.noteResult(r.worker, r.err == nil)
+			if r.err == nil {
+				obs.Dist().ObserveShard(r.worker, r.elapsed)
+				return r.slots, nil
+			}
+			if !retryable(r.err) {
+				return nil, fmt.Errorf("dist: shard %d: %w", req.ShardID, r.err)
+			}
+			c.log.Warn("shard attempt failed", "shard", req.ShardID, "worker", r.worker, "err", r.err)
+			switch {
+			case backoffC != nil || pending > 0:
+				// A retry is already scheduled or another attempt (the
+				// hedge) is still in flight; let it play out.
+			case attempts < c.cfg.MaxAttempts:
+				backoff := time.NewTimer(c.jitteredBackoff(attempts))
+				defer backoff.Stop()
+				backoffC = backoff.C
+			default:
+				return c.localFallback(ctx, ser, norm, req, r.err)
+			}
+		case <-backoffC:
+			backoffC = nil
+			attempts++
+			pending++
+			obs.Dist().Retries.Inc()
+			launch(false)
+		case <-hedgeC:
+			hedgeC = nil
+			if pending > 0 {
+				pending++
+				obs.Dist().Hedges.Inc()
+				c.log.Info("hedging straggler shard", "shard", req.ShardID)
+				launch(true)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// localFallback computes the shard in-process after the attempt budget is
+// exhausted — degraded (the coordinator spends its own CPU) but correct,
+// since MineShardSlots is the exact computation a worker runs.
+func (c *Coordinator) localFallback(ctx context.Context, ser *series.Series, norm core.Options, req httpapi.ShardRequest, cause error) ([]core.SymbolPeriodicity, error) {
+	if c.cfg.DisableLocalFallback {
+		return nil, fmt.Errorf("dist: shard %d exhausted %d attempts: %w", req.ShardID, c.cfg.MaxAttempts, cause)
+	}
+	c.log.Warn("shard attempts exhausted; computing locally",
+		"shard", req.ShardID, "attempts", c.cfg.MaxAttempts, "err", cause)
+	obs.Dist().LocalFallbacks.Inc()
+	shardOpt := norm
+	shardOpt.MinPeriod, shardOpt.MaxPeriod = req.MinPeriod, req.MaxPeriod
+	return core.MineShardSlots(ctx, ser, shardOpt, req.SymbolLo, req.SymbolHi)
+}
+
+// jitteredBackoff is the delay before retry number attempt (1-based over
+// completed launches): base × 2^(attempt−1), uniformly jittered over
+// [0.5×, 1.5×).
+func (c *Coordinator) jitteredBackoff(attempt int) time.Duration {
+	d := c.cfg.RetryBackoff << (attempt - 1)
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// pickWorker chooses the next worker round-robin, preferring workers that
+// are healthy and not in exclude; it degrades to excluded or unhealthy
+// workers rather than returning none, because a guess at a bad worker still
+// beats giving up.
+func (c *Coordinator) pickWorker(exclude map[string]bool) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.cfg.Workers)
+	best, bestRank := c.rr%n, 4
+	for i := 0; i < n; i++ {
+		idx := (c.rr + i) % n
+		w := c.cfg.Workers[idx]
+		rank := 0
+		if exclude[w] {
+			rank += 2
+		}
+		if c.fails[w] >= unhealthyAfter {
+			rank++
+		}
+		if rank < bestRank {
+			best, bestRank = idx, rank
+			if rank == 0 {
+				break
+			}
+		}
+	}
+	c.rr = (best + 1) % n
+	return c.cfg.Workers[best]
+}
+
+// noteResult updates a worker's consecutive-failure health count.
+func (c *Coordinator) noteResult(worker string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ok {
+		c.fails[worker] = 0
+	} else {
+		c.fails[worker]++
+	}
+}
+
+// retryable reports whether another dispatch of the same shard could
+// succeed: transport failures and shed/5xx worker replies are retryable;
+// context expiry and request rejections (4xx) are not.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var wse *httpapi.WorkerStatusError
+	if errors.As(err, &wse) {
+		return wse.Retryable()
+	}
+	return true
+}
+
+// slotsFromWire converts wire slots to core periodicities. Confidence stays
+// zero: AssembleFromSlots re-derives it from the integer counts.
+func slotsFromWire(in []httpapi.ShardSlot) []core.SymbolPeriodicity {
+	out := make([]core.SymbolPeriodicity, 0, len(in))
+	for _, sl := range in {
+		out = append(out, core.SymbolPeriodicity{
+			Symbol: sl.Symbol, Period: sl.Period, Position: sl.Position,
+			F2: sl.F2, Pairs: sl.Pairs,
+		})
+	}
+	return out
+}
+
+// coreOptions mirrors periodica.Options.internal; the distributed parity
+// suite pins the two against each other, so drift breaks a test rather than
+// byte-identity in production.
+func coreOptions(o periodica.Options) core.Options {
+	return core.Options{
+		Threshold: o.Threshold, MinPeriod: o.MinPeriod, MaxPeriod: o.MaxPeriod,
+		Engine: coreEngine(o.Engine), MaxPatternPeriod: o.MaxPatternPeriod,
+		MaxPatterns: o.MaxPatterns, MinPairs: o.MinPairs,
+	}
+}
+
+func coreEngine(e periodica.Engine) core.Engine {
+	switch e {
+	case periodica.EngineNaive:
+		return core.EngineNaive
+	case periodica.EngineBitset:
+		return core.EngineBitset
+	case periodica.EngineFFT:
+		return core.EngineFFT
+	}
+	return core.EngineAuto
+}
+
+// convertResult mirrors the root package's core→public conversion, likewise
+// pinned by the distributed parity suite.
+func convertResult(alpha *alphabet.Alphabet, res *core.Result) *periodica.Result {
+	out := &periodica.Result{Periods: res.Periods, Truncated: res.PatternsTruncated}
+	for _, sp := range res.Periodicities {
+		out.Periodicities = append(out.Periodicities, periodica.Periodicity{
+			Symbol:     alpha.Symbol(sp.Symbol),
+			Period:     sp.Period,
+			Position:   sp.Position,
+			Matches:    sp.F2,
+			Pairs:      sp.Pairs,
+			Confidence: sp.Confidence,
+		})
+	}
+	for _, pt := range res.SingleSymbol {
+		out.SingleSymbolPatterns = append(out.SingleSymbolPatterns, periodica.Pattern{
+			Period: pt.Period, Text: pt.Render(alpha), Support: pt.Support,
+		})
+	}
+	for _, pt := range res.Patterns {
+		out.Patterns = append(out.Patterns, periodica.Pattern{
+			Period: pt.Period, Text: pt.Render(alpha), Support: pt.Support,
+		})
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package exec
+
+// Shard is one unit of distributable mining work: resolve the symbol
+// periodicities of symbols [SymbolLo, SymbolHi) over the candidate periods
+// [MinPeriod, MaxPeriod]. Shards partition the (symbol × period) domain, so
+// the union of their per-period slots is exactly the single-process resolve
+// output — the merge is a concatenation plus the canonical result sort, and
+// re-delivering a shard (a retried or hedged dispatch) changes nothing as
+// long as each shard ID is merged once.
+type Shard struct {
+	// ID is the shard's index in plan order; coordinators key idempotent
+	// merges on it.
+	ID int
+	// SymbolLo and SymbolHi bound the shard's symbols, half-open.
+	SymbolLo, SymbolHi int
+	// MinPeriod and MaxPeriod bound the shard's candidate periods, inclusive.
+	MinPeriod, MaxPeriod int
+}
+
+// PlanShards enumerates a deterministic shard plan over sigma symbols and the
+// candidate periods [minPeriod, maxPeriod], aiming for target shards. The
+// split is period-major — per-period resolve cost is roughly uniform, and a
+// period band reuses one worker's per-symbol precompute across all its
+// symbols — so the symbol dimension is split only when there are fewer
+// candidate periods than requested shards. The same arguments always yield
+// the same plan; IDs are sequential in enumeration order.
+//
+// The plan has at most target shards when the period span alone can fill the
+// target; when the symbol dimension must be split too, the shard count may
+// round up to the next full symbol × period grid.
+func PlanShards(sigma, minPeriod, maxPeriod, target int) []Shard {
+	if sigma < 1 || minPeriod < 1 || maxPeriod < minPeriod {
+		return nil
+	}
+	if target < 1 {
+		target = 1
+	}
+	span := maxPeriod - minPeriod + 1
+	periodParts := target
+	if periodParts > span {
+		periodParts = span
+	}
+	symParts := 1
+	if periodParts < target && sigma > 1 {
+		symParts = (target + periodParts - 1) / periodParts
+		if symParts > sigma {
+			symParts = sigma
+		}
+	}
+	shards := make([]Shard, 0, periodParts*symParts)
+	//opvet:ignore ctxpoll plan enumeration bounded by periodParts×symParts, both capped above
+	for pi := 0; pi < periodParts; pi++ {
+		pLo, pHi := splitRange(minPeriod, span, periodParts, pi)
+		//opvet:ignore ctxpoll inner enumeration bounded by symParts, capped at sigma above
+		for si := 0; si < symParts; si++ {
+			sLo, sHi := splitRange(0, sigma, symParts, si)
+			shards = append(shards, Shard{
+				ID:       len(shards),
+				SymbolLo: sLo, SymbolHi: sHi + 1,
+				MinPeriod: pLo, MaxPeriod: pHi,
+			})
+		}
+	}
+	return shards
+}
+
+// splitRange returns the inclusive bounds of part i when a range of size
+// values starting at lo is split into parts contiguous chunks whose sizes
+// differ by at most one (earlier parts take the remainder).
+func splitRange(lo, size, parts, i int) (int, int) {
+	base := size / parts
+	rem := size % parts
+	start := lo + i*base + min(i, rem)
+	length := base
+	if i < rem {
+		length++
+	}
+	return start, start + length - 1
+}

@@ -1,0 +1,80 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPlanShardsPartition: every plan must cover each (symbol, period) cell
+// exactly once — that is what makes the distributed merge a pure
+// concatenation.
+func TestPlanShardsPartition(t *testing.T) {
+	cases := []struct{ sigma, minP, maxP, target int }{
+		{1, 1, 1, 1},
+		{3, 1, 302, 6},
+		{3, 1, 302, 7}, // non-dividing target
+		{5, 10, 17, 32},
+		{4, 1, 2, 5}, // symbol dimension must split
+		{2, 1, 1, 8}, // tiny domain, big target
+		{26, 1, 5000, 64},
+		{3, 7, 7, 1},
+	}
+	for _, c := range cases {
+		shards := PlanShards(c.sigma, c.minP, c.maxP, c.target)
+		if len(shards) == 0 {
+			t.Fatalf("PlanShards(%+v) returned no shards", c)
+		}
+		seen := map[[2]int]int{}
+		for i, sh := range shards {
+			if sh.ID != i {
+				t.Errorf("%+v: shard %d has ID %d, want sequential", c, i, sh.ID)
+			}
+			if sh.SymbolLo < 0 || sh.SymbolHi > c.sigma || sh.SymbolLo >= sh.SymbolHi {
+				t.Errorf("%+v: bad symbol range [%d,%d)", c, sh.SymbolLo, sh.SymbolHi)
+			}
+			if sh.MinPeriod < c.minP || sh.MaxPeriod > c.maxP || sh.MinPeriod > sh.MaxPeriod {
+				t.Errorf("%+v: bad period range [%d,%d]", c, sh.MinPeriod, sh.MaxPeriod)
+			}
+			for k := sh.SymbolLo; k < sh.SymbolHi; k++ {
+				for p := sh.MinPeriod; p <= sh.MaxPeriod; p++ {
+					seen[[2]int{k, p}]++
+				}
+			}
+		}
+		for k := 0; k < c.sigma; k++ {
+			for p := c.minP; p <= c.maxP; p++ {
+				if n := seen[[2]int{k, p}]; n != 1 {
+					t.Fatalf("%+v: cell (symbol=%d, period=%d) covered %d times", c, k, p, n)
+				}
+			}
+		}
+		if span := c.maxP - c.minP + 1; span >= c.target && len(shards) > c.target {
+			t.Errorf("%+v: %d shards exceed target %d with span %d", c, len(shards), c.target, span)
+		}
+	}
+}
+
+func TestPlanShardsDeterministic(t *testing.T) {
+	a := PlanShards(4, 1, 999, 13)
+	b := PlanShards(4, 1, 999, 13)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("PlanShards is not deterministic")
+	}
+}
+
+func TestPlanShardsDegenerate(t *testing.T) {
+	if got := PlanShards(0, 1, 10, 4); got != nil {
+		t.Errorf("sigma=0: got %v, want nil", got)
+	}
+	if got := PlanShards(3, 5, 4, 4); got != nil {
+		t.Errorf("inverted period range: got %v, want nil", got)
+	}
+	if got := PlanShards(3, 0, 4, 4); got != nil {
+		t.Errorf("minPeriod=0: got %v, want nil", got)
+	}
+	one := PlanShards(3, 1, 100, 0)
+	if len(one) != 1 || one[0].SymbolLo != 0 || one[0].SymbolHi != 3 ||
+		one[0].MinPeriod != 1 || one[0].MaxPeriod != 100 {
+		t.Errorf("target=0: got %+v, want one whole-domain shard", one)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -62,6 +63,10 @@ type Config struct {
 	Logger *slog.Logger
 	// Metrics receives the serving metrics; nil means a fresh registry.
 	Metrics *obs.Registry
+	// Distributor, when set, shards /v1/mine requests across worker nodes
+	// instead of mining in-process. /v1/candidates and /v1/shard always run
+	// locally.
+	Distributor Distributor
 }
 
 // Server is the mining service: an http.Handler plus the lifecycle state
@@ -76,6 +81,9 @@ type Server struct {
 	metrics *obs.Registry
 	log     *slog.Logger
 	reqSeq  atomic.Uint64 // request-ID fallback when crypto/rand fails
+	// drainSecs is the drain window in whole seconds, stored by Run when
+	// shutdown begins so /readyz can tell callers how long to stay away.
+	drainSecs atomic.Int64
 }
 
 // New builds a Server from cfg.
@@ -108,6 +116,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux.HandleFunc("/v1/mine", s.instrument("/v1/mine", s.handleMine))
 	s.mux.HandleFunc("/v1/candidates", s.instrument("/v1/candidates", s.handleCandidates))
+	s.mux.HandleFunc("/v1/shard", s.instrument("/v1/shard", s.handleShard))
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -240,6 +249,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.ready.Load() {
+		w.Header().Set("Retry-After", strconv.FormatInt(max(s.drainSecs.Load(), 1), 10))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
@@ -261,10 +271,24 @@ func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 	if s.gate.TryAcquire() {
 		return s.gate.Release, true
 	}
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	writeJSON(w, http.StatusTooManyRequests,
 		ErrorResponse{Error: "server is at its mining concurrency limit; retry later"})
 	return nil, false
+}
+
+// retryAfterSeconds estimates when an admission slot will free: the mean
+// mine duration observed so far across all endpoints, scaled by how full
+// the gate is, rounded up to whole seconds and clamped to [1, 60]. Before
+// any mine has completed, the estimate is one second.
+func (s *Server) retryAfterSeconds() int {
+	mean := time.Second
+	if count, sum := s.metrics.MineDurations(); count > 0 {
+		mean = sum / time.Duration(count)
+	}
+	est := mean * time.Duration(s.gate.InUse()) / time.Duration(s.gate.Capacity())
+	secs := int((est + time.Second - 1) / time.Second)
+	return min(max(secs, 1), 60)
 }
 
 // requestContext derives the mining context from the client's: it is
@@ -308,11 +332,20 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	start := time.Now()
-	res, err := periodica.MineContext(ctx, series, periodica.Options{
+	opt := periodica.Options{
 		Threshold: req.Threshold, MinPeriod: req.MinPeriod, MaxPeriod: req.MaxPeriod,
 		MaxPatternPeriod: req.MaxPatternPeriod, MaximalOnly: req.MaximalOnly,
 		MinPairs: req.MinPairs,
-	})
+	}
+	var (
+		res *periodica.Result
+		err error
+	)
+	if s.cfg.Distributor != nil {
+		res, err = s.cfg.Distributor.Mine(ctx, series, opt)
+	} else {
+		res, err = periodica.MineContext(ctx, series, opt)
+	}
 	s.metrics.Endpoint("/v1/mine").ObserveMine(time.Since(start))
 	if err != nil {
 		s.writeMineError(w, r, err)

@@ -478,8 +478,12 @@ func TestGracefulShutdown(t *testing.T) {
 			break // listener already closed: fine
 		}
 		code := resp.StatusCode
+		retryAfter := resp.Header.Get("Retry-After")
 		_ = resp.Body.Close()
 		if code == http.StatusServiceUnavailable {
+			if retryAfter == "" {
+				t.Fatal("drain 503 without Retry-After")
+			}
 			break
 		}
 		if time.Now().After(deadline) {
@@ -506,11 +510,4 @@ func TestGracefulShutdown(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("Run did not return after drain")
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

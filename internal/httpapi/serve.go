@@ -31,6 +31,7 @@ func (s *Server) Run(ctx context.Context, hs *http.Server, ln net.Listener, drai
 	case <-ctx.Done():
 	}
 
+	s.drainSecs.Store(int64((drain + time.Second - 1) / time.Second))
 	s.SetReady(false)
 	s.log.Info("draining", "timeout", drain, "in_flight", s.metrics.InFlight().Value())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)

@@ -1,0 +1,223 @@
+package httpapi
+
+// The distributed shard endpoint and its client. A coordinator cuts a mine
+// into (symbol × candidate-period) blocks, POSTs each block to a worker's
+// /v1/shard, and merges the returned slots; the wire carries integers only
+// (F2, Pairs) so the merged result is byte-identical to a single-process
+// mine. The handler reuses the same admission gate, request deadline,
+// metrics, and error taxonomy as /v1/mine — a worker is just a Server.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"periodica"
+	"periodica/internal/alphabet"
+	"periodica/internal/core"
+	"periodica/internal/series"
+)
+
+// Distributor shards a mine across worker nodes. When Config.Distributor is
+// set, /v1/mine routes through it instead of mining in-process; the
+// implementation lives in internal/dist (the interface is declared here so
+// httpapi does not import its own client's consumer).
+type Distributor interface {
+	Mine(ctx context.Context, s *periodica.Series, opt periodica.Options) (*periodica.Result, error)
+}
+
+// ShardRequest is the body of POST /v1/shard: one (symbol × period) block of
+// a distributed mine. The alphabet travels explicitly — a discretized series
+// may never use some of its levels, so rebuilding the alphabet from the text
+// alone would renumber the symbols and corrupt the coordinator's indices.
+type ShardRequest struct {
+	// ShardID identifies the block within its mine; the response echoes it,
+	// which makes hedged duplicate responses safe to deduplicate.
+	ShardID int `json:"shardId"`
+	// Alphabet lists the symbols in coordinator index order.
+	Alphabet []string `json:"alphabet"`
+	// Symbols is the full series text; every rune must name an Alphabet
+	// symbol.
+	Symbols string `json:"symbols"`
+
+	Threshold float64 `json:"threshold"`
+	// MinPeriod and MaxPeriod are the shard's candidate-period band,
+	// inclusive, already normalized by the coordinator.
+	MinPeriod int `json:"minPeriod"`
+	MaxPeriod int `json:"maxPeriod"`
+	// SymbolLo and SymbolHi restrict the sweep to symbols [lo, hi).
+	SymbolLo int `json:"symbolLo"`
+	SymbolHi int `json:"symbolHi"`
+	MinPairs int `json:"minPairs,omitempty"`
+	// Engine is the evaluation strategy by name ("auto", "naive", "bitset",
+	// "fft"); empty means auto. Every engine yields identical slot values.
+	Engine string `json:"engine,omitempty"`
+}
+
+// ShardSlot is one symbol periodicity on the wire. Integers only: the
+// coordinator re-derives each confidence as F2/Pairs, so no float crosses
+// the network and no decimal round-trip can perturb the merged result.
+type ShardSlot struct {
+	Symbol   int `json:"symbol"`
+	Period   int `json:"period"`
+	Position int `json:"position"`
+	F2       int `json:"f2"`
+	Pairs    int `json:"pairs"`
+}
+
+// ShardResponse is the body of a successful POST /v1/shard.
+type ShardResponse struct {
+	ShardID int         `json:"shardId"`
+	Slots   []ShardSlot `json:"slots"`
+}
+
+// parseEngine maps the wire engine name (core.Engine.String values) back to
+// the engine constant; empty means auto.
+func parseEngine(name string) (core.Engine, error) {
+	switch name {
+	case "", "auto":
+		return core.EngineAuto, nil
+	case "naive":
+		return core.EngineNaive, nil
+	case "bitset":
+		return core.EngineBitset, nil
+	case "fft":
+		return core.EngineFFT, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q", name)
+}
+
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
+		return
+	}
+	var req ShardRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, ErrorResponse{
+				Error: fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	alpha, err := alphabet.New(req.Alphabet...)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	ser, err := series.FromAlphabetText(alpha, req.Symbols)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	eng, err := parseEngine(req.Engine)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	start := time.Now()
+	slots, err := core.MineShardSlots(ctx, ser, core.Options{
+		Threshold: req.Threshold, MinPeriod: req.MinPeriod, MaxPeriod: req.MaxPeriod,
+		MinPairs: req.MinPairs, Engine: eng,
+	}, req.SymbolLo, req.SymbolHi)
+	s.metrics.Endpoint("/v1/shard").ObserveMine(time.Since(start))
+	if err != nil {
+		s.writeMineError(w, r, err)
+		return
+	}
+	resp := ShardResponse{ShardID: req.ShardID, Slots: make([]ShardSlot, 0, len(slots))}
+	for _, sp := range slots {
+		resp.Slots = append(resp.Slots, ShardSlot{
+			Symbol: sp.Symbol, Period: sp.Period, Position: sp.Position,
+			F2: sp.F2, Pairs: sp.Pairs,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ShardClient issues /v1/shard calls against worker base URLs on behalf of
+// the coordinator.
+type ShardClient struct {
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// WorkerStatusError is a non-200 /v1/shard reply.
+type WorkerStatusError struct {
+	Worker string
+	Status int
+	Msg    string
+}
+
+func (e *WorkerStatusError) Error() string {
+	return fmt.Sprintf("worker %s: status %d: %s", e.Worker, e.Status, e.Msg)
+}
+
+// Retryable reports whether another attempt could succeed: the worker shed
+// the request (429) or failed server-side (5xx), as opposed to rejecting the
+// request outright (4xx), which every retry would repeat.
+func (e *WorkerStatusError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// MineShard POSTs one shard to a worker and returns its slots. The response
+// must echo the request's shard ID.
+func (c *ShardClient) MineShard(ctx context.Context, worker string, req *ShardRequest) (*ShardResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/v1/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }() // response fully read or discarded below
+	if resp.StatusCode != http.StatusOK {
+		msg := ""
+		if b, rerr := io.ReadAll(io.LimitReader(resp.Body, 4096)); rerr == nil {
+			var er ErrorResponse
+			if json.Unmarshal(b, &er) == nil && er.Error != "" {
+				msg = er.Error
+			} else {
+				msg = strings.TrimSpace(string(b))
+			}
+		}
+		return nil, &WorkerStatusError{Worker: worker, Status: resp.StatusCode, Msg: msg}
+	}
+	var out ShardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("worker %s: bad shard response: %w", worker, err)
+	}
+	if out.ShardID != req.ShardID {
+		return nil, fmt.Errorf("worker %s: shard id mismatch: sent %d, got %d", worker, req.ShardID, out.ShardID)
+	}
+	return &out, nil
+}

@@ -1,0 +1,208 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"periodica/internal/alphabet"
+	"periodica/internal/core"
+	"periodica/internal/series"
+)
+
+// shardBody marshals a ShardRequest for the test server.
+func shardBody(t *testing.T, req ShardRequest) string {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestShardEndpoint: the endpoint must return exactly the slots
+// core.MineShardSlots computes — including under an alphabet with a symbol
+// the text never uses, which pins the explicit-alphabet wire decode.
+func TestShardEndpoint(t *testing.T) {
+	text := strings.Repeat("abcabbabcb", 10)
+	req := ShardRequest{
+		ShardID:   42,
+		Alphabet:  []string{"a", "b", "c", "d"}, // d never occurs
+		Symbols:   text,
+		Threshold: 0.6, MinPeriod: 1, MaxPeriod: 20,
+		SymbolLo: 0, SymbolHi: 4,
+	}
+	rec := post(t, quiet(Config{}), "/v1/shard", shardBody(t, req))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp ShardResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ShardID != 42 {
+		t.Fatalf("shard id %d, want 42", resp.ShardID)
+	}
+
+	alpha := alphabet.MustNew("a", "b", "c", "d")
+	ser, err := series.FromAlphabetText(alpha, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.MineShardSlots(context.Background(), ser,
+		core.Options{Threshold: 0.6, MinPeriod: 1, MaxPeriod: 20}, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture produced no slots; the test is vacuous")
+	}
+	got := make([]core.SymbolPeriodicity, 0, len(resp.Slots))
+	for _, sl := range resp.Slots {
+		got = append(got, core.SymbolPeriodicity{
+			Symbol: sl.Symbol, Period: sl.Period, Position: sl.Position,
+			F2: sl.F2, Pairs: sl.Pairs,
+			Confidence: float64(sl.F2) / float64(sl.Pairs),
+		})
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("endpoint slots differ from MineShardSlots:\nwant %v\ngot  %v", want, got)
+	}
+}
+
+func TestShardBadRequests(t *testing.T) {
+	h := quiet(Config{})
+	base := ShardRequest{
+		Alphabet: []string{"a", "b"}, Symbols: "abababab",
+		Threshold: 0.5, MinPeriod: 1, MaxPeriod: 4, SymbolLo: 0, SymbolHi: 2,
+	}
+	mutate := func(f func(*ShardRequest)) string {
+		req := base
+		req.Alphabet = append([]string(nil), base.Alphabet...)
+		f(&req)
+		return shardBody(t, req)
+	}
+	cases := map[string]string{
+		"empty alphabet":        mutate(func(r *ShardRequest) { r.Alphabet = nil }),
+		"duplicate alphabet":    mutate(func(r *ShardRequest) { r.Alphabet = []string{"a", "a"} }),
+		"rune not in alphabet":  mutate(func(r *ShardRequest) { r.Symbols = "abxab" }),
+		"empty symbols":         mutate(func(r *ShardRequest) { r.Symbols = "" }),
+		"unknown engine":        mutate(func(r *ShardRequest) { r.Engine = "quantum" }),
+		"bad threshold":         mutate(func(r *ShardRequest) { r.Threshold = 0 }),
+		"inverted symbol range": mutate(func(r *ShardRequest) { r.SymbolLo, r.SymbolHi = 2, 1 }),
+		"symbol range too wide": mutate(func(r *ShardRequest) { r.SymbolHi = 5 }),
+		"bad period band":       mutate(func(r *ShardRequest) { r.MinPeriod, r.MaxPeriod = 4, 100 }),
+		"unknown field":         `{"alphabet":["a","b"],"symbols":"abab","threshold":0.5,"bogus":1}`,
+		"invalid json":          `{`,
+	}
+	for name, body := range cases {
+		rec := post(t, h, "/v1/shard", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", name, rec.Code, rec.Body)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/shard", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d, want 405", rec.Code)
+	}
+}
+
+// TestShardClientRoundTrip drives the client against a real worker server.
+func TestShardClientRoundTrip(t *testing.T) {
+	worker := httptest.NewServer(quiet(Config{}))
+	defer worker.Close()
+	var c ShardClient
+	req := &ShardRequest{
+		ShardID: 7, Alphabet: []string{"a", "b", "c"}, Symbols: strings.Repeat("abcabbabcb", 5),
+		Threshold: 0.6, MinPeriod: 1, MaxPeriod: 10, SymbolLo: 0, SymbolHi: 3,
+	}
+	resp, err := c.MineShard(context.Background(), worker.URL, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ShardID != 7 || len(resp.Slots) == 0 {
+		t.Fatalf("response %+v", resp)
+	}
+}
+
+// TestShardClientStatusErrors: a shed worker (429) is retryable, a rejected
+// request (400) is not, and both surface as WorkerStatusError.
+func TestShardClientStatusErrors(t *testing.T) {
+	s := quiet(Config{MaxConcurrency: 1})
+	worker := httptest.NewServer(s)
+	defer worker.Close()
+	var c ShardClient
+	good := &ShardRequest{
+		ShardID: 1, Alphabet: []string{"a", "b"}, Symbols: "abababab",
+		Threshold: 0.5, MinPeriod: 1, MaxPeriod: 4, SymbolLo: 0, SymbolHi: 2,
+	}
+
+	if !s.gate.TryAcquire() {
+		t.Fatal("fresh gate refused its first slot")
+	}
+	_, err := c.MineShard(context.Background(), worker.URL, good)
+	s.gate.Release()
+	var wse *WorkerStatusError
+	if !errors.As(err, &wse) || wse.Status != http.StatusTooManyRequests || !wse.Retryable() {
+		t.Fatalf("shed: err = %v, want retryable 429 WorkerStatusError", err)
+	}
+
+	bad := *good
+	bad.Threshold = 0
+	_, err = c.MineShard(context.Background(), worker.URL, &bad)
+	if !errors.As(err, &wse) || wse.Status != http.StatusBadRequest || wse.Retryable() {
+		t.Fatalf("rejected: err = %v, want non-retryable 400 WorkerStatusError", err)
+	}
+}
+
+// TestRetryAfterComputed: the 429 Retry-After must scale with the observed
+// mine durations and gate occupancy, clamped to [1, 60].
+func TestRetryAfterComputed(t *testing.T) {
+	cases := []struct {
+		name string
+		mean time.Duration
+		want string
+	}{
+		{"no history", 0, "1"},
+		{"5s mean", 5 * time.Second, "5"},
+		{"clamped", 10 * time.Minute, "60"},
+	}
+	for _, c := range cases {
+		s := quiet(Config{MaxConcurrency: 1})
+		if c.mean > 0 {
+			s.Metrics().Endpoint("/v1/mine").ObserveMine(c.mean)
+		}
+		if !s.gate.TryAcquire() {
+			t.Fatal("fresh gate refused its first slot")
+		}
+		rec := post(t, s, "/v1/mine", `{"symbols":"abab","threshold":0.5}`)
+		s.gate.Release()
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("%s: status %d, want 429", c.name, rec.Code)
+		}
+		if got := rec.Header().Get("Retry-After"); got != c.want {
+			t.Errorf("%s: Retry-After = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDrainRetryAfterWindow(t *testing.T) {
+	s := quiet(Config{})
+	s.drainSecs.Store(7)
+	s.SetReady(false)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want 7", got)
+	}
+}

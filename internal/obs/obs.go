@@ -74,12 +74,16 @@ func NewHistogram(bounds ...float64) *Histogram {
 	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
 }
 
-// Observe records one duration.
+// Observe records one duration. The sum is written before the bucket count:
+// renderBuckets reads the buckets first and the sum last, so every
+// observation visible in a rendered bucket has its duration visible in the
+// rendered sum (the scrape never shows a bucketed observation with a missing
+// sum contribution).
 func (h *Histogram) Observe(d time.Duration) {
 	secs := d.Seconds()
 	i := sort.SearchFloat64s(h.bounds, secs)
-	h.counts[i].Add(1)
 	h.sumNanos.Add(int64(d))
+	h.counts[i].Add(1)
 	h.count.Add(1)
 }
 
@@ -91,26 +95,39 @@ func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNanos.Load()
 
 // renderBuckets writes the cumulative bucket counts, sum, and count under
 // the given metric name and label set (labels may be empty).
+//
+// Observations may land concurrently with a scrape, so the render works from
+// one coherent snapshot: every bucket is loaded exactly once and _count is
+// the sum of those loads, which guarantees the Prometheus invariants — the
+// cumulative series is non-decreasing and the +Inf bucket equals _count —
+// no matter how many observations race the scrape. The sum is loaded after
+// the buckets (and Observe writes it before them), so the rendered _sum
+// covers at least every observation the rendered _count includes.
 func (h *Histogram) renderBuckets(b *strings.Builder, name, labels string) {
 	sep := ","
 	if labels == "" {
 		sep = ""
 	}
+	snap := make([]int64, len(h.counts))
+	for i := range h.counts {
+		snap[i] = h.counts[i].Load()
+	}
+	sum := time.Duration(h.sumNanos.Load())
 	var cum int64
 	for i, ub := range h.bounds {
-		cum += h.counts[i].Load()
+		cum += snap[i]
 		b.WriteString(fmt.Sprintf("%s_bucket{%s%sle=%q} %d\n", name, labels, sep,
 			strconv.FormatFloat(ub, 'g', -1, 64), cum))
 	}
-	cum += h.counts[len(h.bounds)].Load()
+	cum += snap[len(h.bounds)]
 	b.WriteString(fmt.Sprintf("%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum))
 	if labels == "" {
-		b.WriteString(fmt.Sprintf("%s_sum %s\n", name, formatSeconds(h.Sum())))
-		b.WriteString(fmt.Sprintf("%s_count %d\n", name, h.count.Load()))
+		b.WriteString(fmt.Sprintf("%s_sum %s\n", name, formatSeconds(sum)))
+		b.WriteString(fmt.Sprintf("%s_count %d\n", name, cum))
 		return
 	}
-	b.WriteString(fmt.Sprintf("%s_sum{%s} %s\n", name, labels, formatSeconds(h.Sum())))
-	b.WriteString(fmt.Sprintf("%s_count{%s} %d\n", name, labels, h.count.Load()))
+	b.WriteString(fmt.Sprintf("%s_sum{%s} %s\n", name, labels, formatSeconds(sum)))
+	b.WriteString(fmt.Sprintf("%s_count{%s} %d\n", name, labels, cum))
 }
 
 func formatSeconds(d time.Duration) string {
@@ -166,7 +183,7 @@ type ExecMetrics struct {
 	queue  Gauge
 }
 
-var execMetrics ExecMetrics
+var execMetrics ExecMetrics //opvet:racesafe counters and gauges are atomics; the histogram map is mutex-guarded
 
 // Exec returns the process-wide pipeline metrics.
 func Exec() *ExecMetrics { return &execMetrics }
@@ -279,6 +296,91 @@ func (m *FFTMetrics) renderFFT(b *strings.Builder) {
 		formatSeconds(m.AutotuneDuration())))
 }
 
+// DistMetrics instruments the distributed sharded mining tier: how many
+// shards each worker completed, how often shards were retried after a worker
+// failure, how often a straggling shard was hedged to a second worker, how
+// often the coordinator fell back to computing a shard locally, and the
+// round-trip latency of completed remote shards. The metrics are
+// process-wide (the coordinator runs below the serving layer) and are
+// rendered by every Registry, so the /metrics schema is stable whether or
+// not a distributed mine has run.
+type DistMetrics struct {
+	mu      sync.Mutex
+	workers map[string]*Counter
+	latency *Histogram
+
+	Retries        Counter
+	Hedges         Counter
+	LocalFallbacks Counter
+}
+
+var distMetrics DistMetrics //opvet:racesafe counters are atomics; the worker map and histogram are guarded by mu
+
+// Dist returns the process-wide distributed-tier metrics.
+func Dist() *DistMetrics { return &distMetrics }
+
+// WorkerShards returns (creating on first use) the completed-shard counter of
+// the named worker.
+func (m *DistMetrics) WorkerShards(worker string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.workers == nil {
+		m.workers = map[string]*Counter{}
+	}
+	c := m.workers[worker]
+	if c == nil {
+		c = &Counter{}
+		m.workers[worker] = c
+	}
+	return c
+}
+
+// ShardLatency returns the round-trip histogram of completed remote shards.
+func (m *DistMetrics) ShardLatency() *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.latency == nil {
+		m.latency = NewHistogram()
+	}
+	return m.latency
+}
+
+// ObserveShard records one shard completed by the named worker.
+func (m *DistMetrics) ObserveShard(worker string, d time.Duration) {
+	m.WorkerShards(worker).Inc()
+	m.ShardLatency().Observe(d)
+}
+
+// renderDist writes the distributed-tier metrics in exposition format. Every
+// family renders even before a coordinator has run, so scrapes always see a
+// stable schema.
+func (m *DistMetrics) renderDist(b *strings.Builder) {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.workers))
+	for name := range m.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	cs := make([]*Counter, 0, len(names))
+	for _, name := range names {
+		cs = append(cs, m.workers[name])
+	}
+	m.mu.Unlock()
+	b.WriteString("# TYPE periodica_dist_shards_total counter\n")
+	for i, name := range names {
+		b.WriteString(fmt.Sprintf("periodica_dist_shards_total{worker=%q} %d\n",
+			name, cs[i].Value()))
+	}
+	b.WriteString("# TYPE periodica_dist_retries_total counter\n")
+	b.WriteString(fmt.Sprintf("periodica_dist_retries_total %d\n", m.Retries.Value()))
+	b.WriteString("# TYPE periodica_dist_hedges_total counter\n")
+	b.WriteString(fmt.Sprintf("periodica_dist_hedges_total %d\n", m.Hedges.Value()))
+	b.WriteString("# TYPE periodica_dist_local_fallbacks_total counter\n")
+	b.WriteString(fmt.Sprintf("periodica_dist_local_fallbacks_total %d\n", m.LocalFallbacks.Value()))
+	b.WriteString("# TYPE periodica_dist_shard_duration_seconds histogram\n")
+	m.ShardLatency().renderBuckets(b, "periodica_dist_shard_duration_seconds", "")
+}
+
 // statusClasses label the response-status families tracked per endpoint.
 var statusClasses = [...]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
 
@@ -349,6 +451,24 @@ func (r *Registry) Endpoint(name string) *Endpoint {
 // InFlight returns the gauge of requests currently being served.
 func (r *Registry) InFlight() *Gauge { return &r.inFlight }
 
+// MineDurations aggregates the mine-duration histograms of every endpoint:
+// the number of observed mining calls and their total duration. The serving
+// layer derives its Retry-After estimate — roughly how long until an
+// admission slot frees — from this recent-load signal.
+func (r *Registry) MineDurations() (count int64, sum time.Duration) {
+	r.mu.Lock()
+	eps := make([]*Endpoint, 0, len(r.endpoints))
+	for _, e := range r.endpoints {
+		eps = append(eps, e)
+	}
+	r.mu.Unlock()
+	for _, e := range eps {
+		count += e.mine.Count()
+		sum += e.mine.Sum()
+	}
+	return count, sum
+}
+
 // RenderText renders every metric in the Prometheus plaintext exposition
 // format, endpoints in sorted order.
 func (r *Registry) RenderText() string {
@@ -391,6 +511,7 @@ func (r *Registry) RenderText() string {
 	recoveryMetrics.renderRecovery(&b)
 	execMetrics.renderExec(&b)
 	fftMetrics.renderFFT(&b)
+	distMetrics.renderDist(&b)
 	return b.String()
 }
 

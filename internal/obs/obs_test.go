@@ -221,3 +221,122 @@ func TestRecoveryMetricsRender(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramScrapeCoherence hammers Observe from several goroutines while
+// scraping, and checks every scrape against the Prometheus invariants: the
+// cumulative bucket series is non-decreasing, the +Inf bucket equals _count,
+// and the rendered _sum covers at least the observations _count includes
+// (every observation here is exactly 1ms, so sum ≥ count × 1ms).
+func TestHistogramScrapeCoherence(t *testing.T) {
+	h := NewHistogram(0.0005, 0.002, 0.01)
+	const (
+		writers = 4
+		perW    = 5000
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perW; i++ {
+				h.Observe(time.Millisecond)
+			}
+		}()
+	}
+	close(start)
+	parse := func(text string) (buckets []int64, count int64, sum float64) {
+		for _, line := range strings.Split(text, "\n") {
+			switch {
+			case strings.HasPrefix(line, "m_bucket"):
+				var v int64
+				if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err != nil {
+					t.Fatalf("parse %q: %v", line, err)
+				}
+				buckets = append(buckets, v)
+			case strings.HasPrefix(line, "m_count"):
+				if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &count); err != nil {
+					t.Fatalf("parse %q: %v", line, err)
+				}
+			case strings.HasPrefix(line, "m_sum"):
+				if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &sum); err != nil {
+					t.Fatalf("parse %q: %v", line, err)
+				}
+			}
+		}
+		return buckets, count, sum
+	}
+	for i := 0; i < 200; i++ {
+		var b strings.Builder
+		h.renderBuckets(&b, "m", "")
+		buckets, count, sum := parse(b.String())
+		if len(buckets) != 4 {
+			t.Fatalf("scrape %d: %d buckets, want 4", i, len(buckets))
+		}
+		for j := 1; j < len(buckets); j++ {
+			if buckets[j] < buckets[j-1] {
+				t.Fatalf("scrape %d: cumulative buckets decrease: %v", i, buckets)
+			}
+		}
+		if buckets[len(buckets)-1] != count {
+			t.Fatalf("scrape %d: +Inf bucket %d != _count %d", i, buckets[len(buckets)-1], count)
+		}
+		if sum < float64(count)*0.001-1e-9 {
+			t.Fatalf("scrape %d: _sum %g does not cover _count %d × 1ms", i, sum, count)
+		}
+	}
+	wg.Wait()
+	var b strings.Builder
+	h.renderBuckets(&b, "m", "")
+	_, count, _ := parse(b.String())
+	if want := int64(writers * perW); count != want {
+		t.Fatalf("final _count = %d, want %d", count, want)
+	}
+}
+
+// TestDistMetricsRender: the distributed-tier families render from every
+// registry even before a coordinator has run, and per-worker shard counters
+// appear once a shard completes.
+func TestDistMetricsRender(t *testing.T) {
+	text := NewRegistry().RenderText()
+	for _, line := range []string{
+		"# TYPE periodica_dist_shards_total counter",
+		"# TYPE periodica_dist_retries_total counter",
+		"# TYPE periodica_dist_hedges_total counter",
+		"# TYPE periodica_dist_local_fallbacks_total counter",
+		"# TYPE periodica_dist_shard_duration_seconds histogram",
+		"periodica_dist_shard_duration_seconds_count",
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("render missing %q:\n%s", line, text)
+		}
+	}
+
+	before := Dist().WorkerShards("http://w1:8723").Value()
+	retriesBefore := Dist().Retries.Value()
+	Dist().ObserveShard("http://w1:8723", 5*time.Millisecond)
+	Dist().Retries.Inc()
+	text = NewRegistry().RenderText()
+	want := fmt.Sprintf(`periodica_dist_shards_total{worker="http://w1:8723"} %d`, before+1)
+	if !strings.Contains(text, want) {
+		t.Errorf("render missing %q:\n%s", want, text)
+	}
+	want = fmt.Sprintf("periodica_dist_retries_total %d", retriesBefore+1)
+	if !strings.Contains(text, want) {
+		t.Errorf("render missing %q:\n%s", want, text)
+	}
+}
+
+func TestRegistryMineDurations(t *testing.T) {
+	r := NewRegistry()
+	if count, sum := r.MineDurations(); count != 0 || sum != 0 {
+		t.Fatalf("empty registry MineDurations = (%d, %v), want (0, 0)", count, sum)
+	}
+	r.Endpoint("/v1/mine").ObserveMine(2 * time.Second)
+	r.Endpoint("/v1/candidates").ObserveMine(1 * time.Second)
+	count, sum := r.MineDurations()
+	if count != 2 || sum != 3*time.Second {
+		t.Fatalf("MineDurations = (%d, %v), want (2, 3s)", count, sum)
+	}
+}

@@ -47,6 +47,30 @@ func FromString(text string) *Series {
 	return s
 }
 
+// FromAlphabetText parses a series of single-rune symbols against an
+// explicit alphabet: each rune of text must name an alphabet symbol, and the
+// stored indices are the alphabet's. This is the distributed wire decode —
+// unlike FromString, the alphabet (size, order, possibly symbols absent from
+// text) travels with the data, so a worker rebuilding the series assigns
+// exactly the coordinator's symbol indices.
+func FromAlphabetText(alpha *alphabet.Alphabet, text string) (*Series, error) {
+	if alpha.Size() > MaxAlphabet {
+		return nil, fmt.Errorf("series: alphabet size %d exceeds %d", alpha.Size(), MaxAlphabet)
+	}
+	s := &Series{alpha: alpha, data: make([]uint16, 0, len(text))}
+	for i, r := range text {
+		k, ok := alpha.Index(string(r))
+		if !ok {
+			return nil, fmt.Errorf("series: symbol %q at byte %d not in alphabet %v", string(r), i, alpha)
+		}
+		s.data = append(s.data, uint16(k))
+	}
+	if len(s.data) == 0 {
+		return nil, fmt.Errorf("series: empty series")
+	}
+	return s, nil
+}
+
 // FromIndices builds a series without validation; it panics on an out-of-range
 // index. Intended for generators that construct indices programmatically.
 func FromIndices(alpha *alphabet.Alphabet, indices []uint16) *Series {
