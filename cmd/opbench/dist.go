@@ -18,12 +18,16 @@ import (
 
 // distPoint is one measured cell of the distributed-scaling run: best-of
 // wall time for a full mine at a given worker count. Workers == 0 is the
-// single-process baseline — no coordinator, no HTTP.
+// single-process baseline — no coordinator, no HTTP. Candidates records
+// which detection path the cell used: "shipped" (the coordinator runs the
+// sweep once and ships each shard its survivor list) or "self-detect"
+// (every worker re-detects over the whole series).
 type distPoint struct {
-	N       int     `json:"n"`
-	Workers int     `json:"workers"`
-	Seconds float64 `json:"seconds"`
-	Speedup float64 `json:"speedup"`
+	N          int     `json:"n"`
+	Workers    int     `json:"workers"`
+	Seconds    float64 `json:"seconds"`
+	Speedup    float64 `json:"speedup"`
+	Candidates string  `json:"candidates,omitempty"`
 }
 
 // distBench measures the sharded coordinator against the single-process
@@ -78,32 +82,54 @@ func distBench(sc scale, seed int64, jsonPath string) error {
 	}
 
 	fmt.Println("Distributed scaling — full mine via sharded coordinator, in-process HTTP workers (best of", reps, "runs)")
-	fmt.Printf("%10s %9s %12s %9s\n", "n", "workers", "ms", "vs local")
-	fmt.Printf("%10d %9s %12.1f %9s\n", s.Len(), "local", base*1e3, "1.00x")
+	fmt.Printf("%10s %9s %12s %12s %9s\n", "n", "workers", "candidates", "ms", "vs local")
+	fmt.Printf("%10d %9s %12s %12.1f %9s\n", s.Len(), "local", "-", base*1e3, "1.00x")
 	points := []distPoint{{N: s.Len(), Workers: 0, Seconds: base, Speedup: 1}}
 
-	for _, w := range []int{1, 2, 4} {
-		coord, err := dist.New(dist.Config{Workers: urls[:w], Logger: quiet})
-		if err != nil {
-			return err
-		}
-		got, err := coord.Mine(context.Background(), s, opt)
-		if err != nil {
-			return err
-		}
-		if !reflect.DeepEqual(got, want) {
-			return fmt.Errorf("dist: %d-worker result differs from the single-process mine", w)
-		}
-		secs := bestOf(reps, func() {
-			if _, err := coord.Mine(context.Background(), s, opt); err != nil {
-				mineErr = err
+	// Every worker count runs both candidate paths: "shipped" (the default —
+	// the coordinator sweeps once and ships survivors with each shard) and
+	// "self-detect" (NoCandidatePrecompute: every worker re-runs detection
+	// over the whole series). Both are byte-identical to the local mine; the
+	// point of the comparison is how much redundant whole-series work the
+	// shipped path removes.
+	shippedAt := map[int]float64{}
+	for _, cand := range []struct {
+		name string
+		noPC bool
+	}{{"shipped", false}, {"self-detect", true}} {
+		for _, w := range []int{1, 2, 4} {
+			coord, err := dist.New(dist.Config{
+				Workers: urls[:w], NoCandidatePrecompute: cand.noPC, Logger: quiet,
+			})
+			if err != nil {
+				return err
 			}
-		})
-		if mineErr != nil {
-			return mineErr
+			got, err := coord.Mine(context.Background(), s, opt)
+			if err != nil {
+				return err
+			}
+			if !reflect.DeepEqual(got, want) {
+				return fmt.Errorf("dist: %d-worker %s result differs from the single-process mine", w, cand.name)
+			}
+			secs := bestOf(reps, func() {
+				if _, err := coord.Mine(context.Background(), s, opt); err != nil {
+					mineErr = err
+				}
+			})
+			if mineErr != nil {
+				return mineErr
+			}
+			if cand.noPC {
+				fmt.Printf("%10d %9d %12s %12.1f %8.2fx   (shipped wins %.2fx)\n",
+					s.Len(), w, cand.name, secs*1e3, base/secs, secs/shippedAt[w])
+			} else {
+				shippedAt[w] = secs
+				fmt.Printf("%10d %9d %12s %12.1f %8.2fx\n", s.Len(), w, cand.name, secs*1e3, base/secs)
+			}
+			points = append(points, distPoint{
+				N: s.Len(), Workers: w, Seconds: secs, Speedup: base / secs, Candidates: cand.name,
+			})
 		}
-		points = append(points, distPoint{N: s.Len(), Workers: w, Seconds: secs, Speedup: base / secs})
-		fmt.Printf("%10d %9d %12.1f %8.2fx\n", s.Len(), w, secs*1e3, base/secs)
 	}
 
 	if jsonPath != "" {

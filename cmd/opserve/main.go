@@ -68,6 +68,11 @@ func run() int {
 	shardBackoff := flag.Duration("shard-retry-backoff", 0, "distributed: base retry backoff, doubled per attempt with jitter (0 = default 100ms)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "distributed: re-dispatch a straggling shard to a second worker after this long (0 = off)")
 	noLocalFallback := flag.Bool("no-local-fallback", false, "distributed: fail a shard that exhausts its attempts instead of computing it locally")
+	shardSeed := flag.Int64("shard-seed", 0, "distributed: seed for retry jitter and verification sampling, for reproducible runs (0 = default seed 1)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "distributed: consecutive failures that open a worker's circuit (0 = default 3)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "distributed: open-circuit cooldown before a half-open probe, doubled per failed probe (0 = default 1s)")
+	verifyShards := flag.Float64("verify-shards", 0, "distributed: fraction of shards (0..1) double-dispatched to a second worker and cross-checked; mismatches are recomputed locally")
+	shardJournal := flag.String("shard-journal", "", "distributed: checkpoint completed shards to this file so an interrupted mine resumes instead of restarting")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -103,6 +108,11 @@ func run() int {
 			RetryBackoff:         *shardBackoff,
 			HedgeAfter:           *hedgeAfter,
 			DisableLocalFallback: *noLocalFallback,
+			Seed:                 *shardSeed,
+			BreakerThreshold:     *breakerThreshold,
+			BreakerCooldown:      *breakerCooldown,
+			VerifyShards:         *verifyShards,
+			ResumeJournal:        *shardJournal,
 			Logger:               logger,
 		})
 		if err != nil {
@@ -111,7 +121,8 @@ func run() int {
 		}
 		distributor = coord
 		logger.Info("distributed mining enabled",
-			"workers", urls, "hedgeAfter", *hedgeAfter, "localFallback", !*noLocalFallback)
+			"workers", urls, "hedgeAfter", *hedgeAfter, "localFallback", !*noLocalFallback,
+			"verifyShards", *verifyShards, "journal", *shardJournal)
 	}
 
 	api := httpapi.New(httpapi.Config{

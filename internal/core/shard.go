@@ -15,6 +15,7 @@ package core
 import (
 	"context"
 
+	"periodica/internal/conv"
 	"periodica/internal/series"
 )
 
@@ -48,6 +49,74 @@ func MineShardSlots(ctx context.Context, s *series.Series, opt Options, symLo, s
 		return nil, err
 	}
 	return ses.slots, nil
+}
+
+// ShardSurvivors runs the detect and sweep stages once over the full series
+// and returns the per-period survivor lists: entry i holds, ascending, the
+// symbols that could still reach the threshold at period opt.MinPeriod+i.
+// A coordinator computes this once and ships each shard its slice, so the
+// workers skip the whole-series detection their bands would otherwise
+// recompute. The lists are exactly the sweep a worker would run itself —
+// same integers, same float comparison — so resolve output is unchanged.
+func ShardSurvivors(ctx context.Context, s *series.Series, opt Options) ([][]int32, error) {
+	ses, err := newSession(s, opt, sessionConfig{parallel: true, cancel: ctx.Err})
+	if err != nil {
+		return nil, err
+	}
+	if err := ses.runPipeline(memoryDetect{}, sweepPeriods{}); err != nil {
+		return nil, err
+	}
+	return ses.surv, nil
+}
+
+// MineShardSlotsFromSurvivors computes one shard of a mine from a
+// coordinator-shipped survivor set: identical output to MineShardSlots on
+// the same shard, but the detect stage builds only the indicator vectors —
+// the O(σ n log n) whole-series autocorrelation and the sweep are skipped
+// because the coordinator already ran them. surv must span the shard's
+// period band (entry i is period opt.MinPeriod+i) with each list strictly
+// ascending inside [symLo, symHi); a malformed set is an invalid-input
+// error, because a worker must never resolve cells outside its shard.
+func MineShardSlotsFromSurvivors(ctx context.Context, s *series.Series, opt Options, symLo, symHi int, surv [][]int32) ([]SymbolPeriodicity, error) {
+	ses, err := newSession(s, opt, sessionConfig{parallel: true, cancel: ctx.Err})
+	if err != nil {
+		return nil, err
+	}
+	if symLo < 0 || symHi > ses.sigma || symLo >= symHi {
+		return nil, invalidf("core: shard symbol range [%d,%d) outside [0,%d)", symLo, symHi, ses.sigma)
+	}
+	span := ses.opt.MaxPeriod - ses.opt.MinPeriod + 1
+	if len(surv) != span {
+		return nil, invalidf("core: survivor set spans %d periods, shard band holds %d", len(surv), span)
+	}
+	for i, list := range surv {
+		prev := int32(symLo) - 1
+		for _, k := range list {
+			if int(k) < symLo || int(k) >= symHi || k <= prev {
+				return nil, invalidf("core: survivor symbol %d at period %d outside shard range [%d,%d) or out of order",
+					k, ses.opt.MinPeriod+i, symLo, symHi)
+			}
+			prev = k
+		}
+	}
+	ses.symLo, ses.symHi = symLo, symHi
+	ses.surv = surv
+	if err := ses.runPipeline(detectIndicators{}, resolveSlots{}); err != nil {
+		return nil, err
+	}
+	return ses.slots, nil
+}
+
+// detectIndicators is the detect stage of the survivor-shipped shard path:
+// resolve needs only the per-symbol indicator bit-vectors, so the expensive
+// batched autocorrelation never runs on the worker.
+type detectIndicators struct{}
+
+func (detectIndicators) name() string { return "detect" }
+
+func (detectIndicators) run(ses *session) error {
+	ses.ind = conv.NewIndicators(ses.s)
+	return nil
 }
 
 // resolveSlots is the resolve stage of a shard: the same per-period slot

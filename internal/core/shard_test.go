@@ -142,6 +142,89 @@ func TestAssembleFromSlotsRejectsBadSlots(t *testing.T) {
 	}
 }
 
+// TestShardSurvivorsShippedPathMatches: for every shard of a plan, mining
+// from the coordinator's shipped survivor slice must produce the exact slots
+// the self-detecting path produces, so candidate shipping can never change a
+// mine's bytes.
+func TestShardSurvivorsShippedPathMatches(t *testing.T) {
+	s := shardFixture(605)
+	opt := Options{Threshold: 0.6, MinPairs: 3, MaxPatternPeriod: 21}
+	norm, err := NormalizeOptions(opt, s.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	surv, err := ShardSurvivors(context.Background(), s, norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(surv) != norm.MaxPeriod-norm.MinPeriod+1 {
+		t.Fatalf("survivor set spans %d periods, want %d", len(surv), norm.MaxPeriod-norm.MinPeriod+1)
+	}
+	nonEmpty := false
+	for _, list := range surv {
+		nonEmpty = nonEmpty || len(list) > 0
+	}
+	if !nonEmpty {
+		t.Fatal("no survivors anywhere; the test is vacuous")
+	}
+	plan := exec.PlanShards(s.Alphabet().Size(), norm.MinPeriod, norm.MaxPeriod, 9)
+	for _, sh := range plan {
+		shardOpt := norm
+		shardOpt.MinPeriod, shardOpt.MaxPeriod = sh.MinPeriod, sh.MaxPeriod
+		// Slice the coordinator's band and clip each list to the shard's
+		// symbol range, exactly as the dist coordinator ships it.
+		band := make([][]int32, 0, sh.MaxPeriod-sh.MinPeriod+1)
+		for p := sh.MinPeriod; p <= sh.MaxPeriod; p++ {
+			var clipped []int32
+			for _, k := range surv[p-norm.MinPeriod] {
+				if int(k) >= sh.SymbolLo && int(k) < sh.SymbolHi {
+					clipped = append(clipped, k)
+				}
+			}
+			band = append(band, clipped)
+		}
+		want, err := MineShardSlots(context.Background(), s, shardOpt, sh.SymbolLo, sh.SymbolHi)
+		if err != nil {
+			t.Fatalf("shard %d self-detect: %v", sh.ID, err)
+		}
+		got, err := MineShardSlotsFromSurvivors(context.Background(), s, shardOpt, sh.SymbolLo, sh.SymbolHi, band)
+		if err != nil {
+			t.Fatalf("shard %d shipped: %v", sh.ID, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("shard %d: shipped-survivor slots differ from self-detected slots", sh.ID)
+		}
+	}
+}
+
+func TestMineShardSlotsFromSurvivorsValidates(t *testing.T) {
+	s := shardFixture(100)
+	norm, err := NormalizeOptions(Options{Threshold: 0.6, MinPeriod: 5, MaxPeriod: 7}, s.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := [][]int32{{0, 1}, {1}, {}}
+	cases := map[string][][]int32{
+		"wrong span":          {{0}, {1}},
+		"symbol out of range": {{0, 3}, {}, {}},
+		"below shard lo":      {{0}, {}, {}}, // with symLo=1 below
+		"out of order":        {{1, 0}, {}, {}},
+		"duplicate symbol":    {{0, 0}, {}, {}},
+	}
+	if _, err := MineShardSlotsFromSurvivors(context.Background(), s, norm, 0, 3, ok); err != nil {
+		t.Fatalf("valid survivor set rejected: %v", err)
+	}
+	for name, surv := range cases {
+		lo := 0
+		if name == "below shard lo" {
+			lo = 1
+		}
+		if _, err := MineShardSlotsFromSurvivors(context.Background(), s, norm, lo, 3, surv); !errors.Is(err, ErrInvalidInput) {
+			t.Errorf("%s: err = %v, want ErrInvalidInput", name, err)
+		}
+	}
+}
+
 // TestAssembleConfidenceRederived: the wire carries integers only; assembly
 // must recompute each confidence from F2/Pairs, ignoring whatever the slot
 // claims.

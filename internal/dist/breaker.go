@@ -1,0 +1,172 @@
+package dist
+
+// Per-worker circuit breakers. The earlier consecutive-failure health count
+// had a blind spot: a worker that died stayed "unhealthy" forever unless a
+// degraded pick happened to land on it after recovery, and under a full
+// outage every pick degraded to a dead worker anyway. A breaker makes the
+// recovery path explicit — after a cooldown, exactly one probe request is
+// allowed through (half-open); success closes the breaker, failure reopens
+// it with a doubled cooldown — so a recovered worker rejoins within one
+// cooldown and a still-dead one absorbs one probe instead of a retry storm.
+
+import (
+	"time"
+
+	"periodica/internal/obs"
+)
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is one worker's circuit. Not self-locking: the Coordinator calls
+// it under its own mutex, which also serializes the half-open probe claim.
+type breaker struct {
+	threshold int           // consecutive failures that open the circuit
+	cooldown  time.Duration // current open duration; doubles per reopen
+	base      time.Duration // first-open cooldown
+
+	state    breakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+// maxCooldownDoublings caps the reopen backoff at base × 2^5 (32×), so a
+// worker down for an hour still gets probed every few seconds rather than
+// being forgotten for minutes.
+const maxCooldownDoublings = 5
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, base: cooldown}
+}
+
+// allow reports whether a request may be sent now. In the open state it
+// transitions to half-open once the cooldown has elapsed and admits exactly
+// one probe; callers that are refused should prefer another worker.
+func (b *breaker) allow(now time.Time) bool {
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	case breakerHalfOpen:
+		if b.probing {
+			return false // one probe at a time
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// note records a request outcome. A half-open success closes the circuit and
+// resets the cooldown; a half-open failure reopens it with a doubled
+// cooldown. Closed-state failures count toward the threshold.
+func (b *breaker) note(ok bool, now time.Time) {
+	switch b.state {
+	case breakerClosed:
+		if ok {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.threshold {
+			b.open(now)
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.state = breakerClosed
+			b.fails = 0
+			b.cooldown = b.base
+			return
+		}
+		if b.cooldown < b.base<<maxCooldownDoublings {
+			b.cooldown *= 2
+		}
+		b.open(now)
+	case breakerOpen:
+		// A result from a request admitted before the circuit opened (e.g. a
+		// hedge still in flight); the open state already reflects failure.
+	}
+}
+
+func (b *breaker) open(now time.Time) {
+	b.state = breakerOpen
+	b.openedAt = now
+	b.fails = 0
+	obs.Dist().BreakerOpens.Inc()
+}
+
+// rank orders workers for picking without mutating the circuit: 0 for a
+// circuit that admits a request now (closed, or a probe opportunity — open
+// past its cooldown, or half-open with no probe in flight), 2 for a refusing
+// one. A probe opportunity ranks equal to closed on purpose: round-robin
+// then reaches it within a cycle, so a recovered worker rejoins promptly
+// instead of starving behind still-healthy peers. The chosen worker's probe
+// slot is then claimed with allow.
+func (b *breaker) rank(now time.Time) int {
+	switch b.state {
+	case breakerClosed:
+		return 0
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			return 0
+		}
+	case breakerHalfOpen:
+		if !b.probing {
+			return 0
+		}
+	}
+	return 2
+}
+
+// breakerSet is the Coordinator's worker→breaker table. Not self-locking:
+// the Coordinator's mutex guards every access, which also makes a pick's
+// rank-then-claim sequence atomic.
+type breakerSet struct {
+	threshold int
+	cooldown  time.Duration
+	byWorker  map[string]*breaker
+	now       func() time.Time // injectable clock for tests
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration) *breakerSet {
+	return &breakerSet{
+		threshold: threshold,
+		cooldown:  cooldown,
+		byWorker:  map[string]*breaker{},
+		now:       time.Now,
+	}
+}
+
+func (s *breakerSet) get(worker string) *breaker {
+	b := s.byWorker[worker]
+	if b == nil {
+		b = newBreaker(s.threshold, s.cooldown)
+		s.byWorker[worker] = b
+	}
+	return b
+}

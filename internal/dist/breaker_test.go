@@ -1,0 +1,110 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker through time without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.note(false, clk.now())
+		if b.state != breakerClosed {
+			t.Fatalf("after %d failures state is %v, want closed", i+1, b.state)
+		}
+	}
+	b.note(true, clk.now()) // a success resets the consecutive count
+	for i := 0; i < 2; i++ {
+		b.note(false, clk.now())
+	}
+	if b.state != breakerClosed {
+		t.Fatal("non-consecutive failures opened the circuit")
+	}
+	b.note(false, clk.now())
+	if b.state != breakerOpen {
+		t.Fatalf("state %v after 3 consecutive failures, want open", b.state)
+	}
+	if b.allow(clk.now()) {
+		t.Fatal("open circuit admitted a request inside its cooldown")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(1, time.Second)
+	b.note(false, clk.now())
+	clk.advance(time.Second)
+	if !b.allow(clk.now()) {
+		t.Fatal("elapsed cooldown refused the probe")
+	}
+	if b.state != breakerHalfOpen {
+		t.Fatalf("state %v after probe admission, want half-open", b.state)
+	}
+	if b.allow(clk.now()) {
+		t.Fatal("second request admitted while the probe is in flight")
+	}
+	b.note(true, clk.now())
+	if b.state != breakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", b.state)
+	}
+	if !b.allow(clk.now()) {
+		t.Fatal("closed circuit refused a request")
+	}
+}
+
+func TestBreakerReopenDoublesCooldown(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(1, time.Second)
+	b.note(false, clk.now()) // open, cooldown 1s
+	for i, wantCooldown := range []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second} {
+		clk.advance(b.cooldown)
+		if !b.allow(clk.now()) {
+			t.Fatalf("round %d: probe refused after cooldown", i)
+		}
+		b.note(false, clk.now()) // probe fails: reopen, doubled
+		if b.state != breakerOpen {
+			t.Fatalf("round %d: state %v, want open", i, b.state)
+		}
+		if b.cooldown != wantCooldown {
+			t.Fatalf("round %d: cooldown %v, want %v", i, b.cooldown, wantCooldown)
+		}
+	}
+	// The doubling caps at base << maxCooldownDoublings.
+	for i := 0; i < 10; i++ {
+		clk.advance(b.cooldown)
+		b.allow(clk.now())
+		b.note(false, clk.now())
+	}
+	if want := time.Second << maxCooldownDoublings; b.cooldown != want {
+		t.Fatalf("cooldown %v after many reopens, want capped %v", b.cooldown, want)
+	}
+	// A successful probe resets the cooldown to base.
+	clk.advance(b.cooldown)
+	b.allow(clk.now())
+	b.note(true, clk.now())
+	if b.cooldown != time.Second {
+		t.Fatalf("cooldown %v after recovery, want base 1s", b.cooldown)
+	}
+}
+
+// TestBreakerLateResultWhileOpen: a result from a request admitted before
+// the circuit opened (e.g. a hedge) must not perturb the open state.
+func TestBreakerLateResultWhileOpen(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(1, time.Second)
+	b.note(false, clk.now())
+	b.note(true, clk.now()) // late straggler success
+	if b.state != breakerOpen {
+		t.Fatalf("state %v after late success, want still open", b.state)
+	}
+	if b.allow(clk.now()) {
+		t.Fatal("late success reopened admission inside the cooldown")
+	}
+}

@@ -233,30 +233,43 @@ func TestCoordinatorCancellation(t *testing.T) {
 	}
 }
 
-// TestPickWorkerHealth: an unhealthy worker is skipped while a healthy one
-// exists, and recovers after a success.
+// TestPickWorkerHealth: a worker whose circuit opens is skipped while a
+// healthy one exists, gets probed after the cooldown, and rejoins the
+// rotation once the probe succeeds.
 func TestPickWorkerHealth(t *testing.T) {
 	c, err := New(Config{Workers: []string{"w0", "w1"}, Logger: discard()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < unhealthyAfter; i++ {
+	now := time.Unix(1000, 0)
+	c.breakers.now = func() time.Time { return now }
+	for i := 0; i < c.cfg.BreakerThreshold; i++ {
 		c.noteResult("w0", false)
+	}
+	if got := c.breakers.get("w0").state; got != breakerOpen {
+		t.Fatalf("after %d failures w0 is %v, want open", c.cfg.BreakerThreshold, got)
 	}
 	for i := 0; i < 4; i++ {
 		if w := c.pickWorker(nil); w != "w1" {
-			t.Fatalf("pick %d: chose unhealthy %q", i, w)
+			t.Fatalf("pick %d during cooldown: chose open-circuit %q", i, w)
 		}
 	}
-	c.noteResult("w0", true)
+	// Cooldown elapses: the next rotation probes w0 exactly once, and the
+	// probe's success closes the circuit.
+	now = now.Add(c.cfg.BreakerCooldown)
 	picked := map[string]bool{}
 	for i := 0; i < 4; i++ {
-		picked[c.pickWorker(nil)] = true
+		w := c.pickWorker(nil)
+		picked[w] = true
+		c.noteResult(w, true)
 	}
 	if !picked["w0"] {
-		t.Error("recovered worker never picked again")
+		t.Error("recovered worker never probed again")
 	}
-	// With every worker excluded or unhealthy, pickWorker still answers.
+	if got := c.breakers.get("w0").state; got != breakerClosed {
+		t.Errorf("after successful probe w0 is %v, want closed", got)
+	}
+	// With every worker excluded or refusing, pickWorker still answers.
 	if w := c.pickWorker(map[string]bool{"w0": true, "w1": true}); w == "" {
 		t.Error("pickWorker returned no worker")
 	}

@@ -1,0 +1,245 @@
+package dist
+
+// Kill-and-resume: a journaled mine interrupted after its k-th checkpoint
+// must resume to a byte-identical result while re-dispatching only the
+// shards the journal does not hold, for every k across the shard boundaries.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"periodica/internal/core"
+	"periodica/internal/exec"
+	"periodica/internal/httpapi"
+	"periodica/internal/netfault"
+	"periodica/internal/obs"
+)
+
+// quarantineJournal exports a resume journal to PERIODICA_ARTIFACT_DIR when
+// the test fails, so a CI failure ships the exact checkpoint that reproduced
+// it. A journal already removed by a completed mine is silently skipped.
+func quarantineJournal(t *testing.T, path string) {
+	t.Helper()
+	t.Cleanup(func() {
+		root := os.Getenv("PERIODICA_ARTIFACT_DIR")
+		if root == "" || !t.Failed() {
+			return
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return
+		}
+		if err := os.MkdirAll(root, 0o755); err != nil {
+			t.Logf("journal quarantine: %v", err)
+			return
+		}
+		dst := filepath.Join(root,
+			filepath.Base(t.Name())+"-"+filepath.Base(filepath.Dir(path))+".journal")
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			t.Logf("journal quarantine: %v", err)
+			return
+		}
+		t.Logf("failed mine's journal exported to %s", dst)
+	})
+}
+
+// planSize computes how many shards a coordinator with n workers cuts the
+// fixture into, mirroring Mine's own planning.
+func planSize(t *testing.T, nWorkers int) int {
+	t.Helper()
+	s := fixture(t)
+	norm, err := core.NormalizeOptions(coreOptions(fixtureOpt), len(s.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := exec.PlanShards(len(s.Alphabet()), norm.MinPeriod, norm.MaxPeriod, 2*nWorkers)
+	return len(plan)
+}
+
+func TestResumeKillAtEveryShardBoundary(t *testing.T) {
+	s := fixture(t)
+	want := mustMine(t, s, fixtureOpt)
+	workers := []string{worker(t), worker(t)}
+	total := planSize(t, len(workers))
+	if total < 2 {
+		t.Fatalf("plan has %d shards; the boundary sweep is vacuous", total)
+	}
+
+	for k := 1; k <= total; k++ {
+		path := filepath.Join(t.TempDir(), "mine.journal")
+		quarantineJournal(t, path)
+
+		// Run 1: cancel the mine once k shards are durably checkpointed.
+		ctx, cancel := context.WithCancel(context.Background())
+		c1, err := New(Config{
+			Workers: workers, ResumeJournal: path, Seed: 3, Logger: discard(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1.afterJournal = func(appended int) {
+			if appended >= k {
+				cancel()
+			}
+		}
+		_, err = c1.Mine(ctx, s, fixtureOpt)
+		cancel()
+		if k < total && err == nil {
+			t.Fatalf("k=%d: interrupted mine reported success", k)
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("k=%d: interrupted mine left no journal: %v", k, err)
+		}
+
+		// Run 2: a fresh coordinator over the same journal. Count dispatches
+		// through a no-fault injector.
+		counter := netfault.New(nil, netfault.Plan{}, 1)
+		counter.SetKeyFunc(shardKey)
+		resumedBefore := obs.Dist().ResumedShards.Value()
+		c2, err := New(Config{
+			Workers: workers, ResumeJournal: path, Seed: 3,
+			Client: &httpapi.ShardClient{HTTP: &http.Client{Transport: counter}},
+			Logger: discard(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c2.Mine(context.Background(), s, fixtureOpt)
+		if err != nil {
+			t.Fatalf("k=%d: resumed mine: %v", k, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("k=%d: resumed result differs from single-process mine", k)
+		}
+		resumed := int(obs.Dist().ResumedShards.Value() - resumedBefore)
+		if resumed < k {
+			t.Fatalf("k=%d: resume skipped only %d shards, journal held at least %d", k, resumed, k)
+		}
+		if dispatched := int(counter.Requests()); dispatched != total-resumed {
+			t.Fatalf("k=%d: resume dispatched %d shards, want %d (= %d total − %d journaled)",
+				k, dispatched, total-resumed, total, resumed)
+		}
+		// A completed mine deletes its checkpoint.
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("k=%d: journal still present after completed mine (stat err %v)", k, err)
+		}
+	}
+}
+
+// TestResumeJournalKeyMismatch: a journal written by different mine inputs
+// must be discarded, not merged — resuming someone else's checkpoint would
+// assemble slots for the wrong series.
+func TestResumeJournalKeyMismatch(t *testing.T) {
+	workers := []string{worker(t)}
+	path := filepath.Join(t.TempDir(), "mine.journal")
+	s := fixture(t)
+	want := mustMine(t, s, fixtureOpt)
+
+	// Journal a different mine (different threshold) and interrupt it.
+	otherOpt := fixtureOpt
+	otherOpt.Threshold = 0.8
+	ctx, cancel := context.WithCancel(context.Background())
+	c1, err := New(Config{Workers: workers, ResumeJournal: path, Logger: discard()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.afterJournal = func(int) { cancel() }
+	_, _ = c1.Mine(ctx, s, otherOpt)
+	cancel()
+
+	resumedBefore := obs.Dist().ResumedShards.Value()
+	c2, err := New(Config{Workers: workers, ResumeJournal: path, Logger: discard()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Mine(context.Background(), s, fixtureOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("result differs after discarding a mismatched journal")
+	}
+	if obs.Dist().ResumedShards.Value() != resumedBefore {
+		t.Fatal("a journal from different inputs was resumed")
+	}
+}
+
+// TestResumeTornJournalTail: a torn final record (the crash landed mid-
+// append) must resume from the clean prefix and still finish identically.
+func TestResumeTornJournalTail(t *testing.T) {
+	s := fixture(t)
+	want := mustMine(t, s, fixtureOpt)
+	workers := []string{worker(t)}
+	path := filepath.Join(t.TempDir(), "mine.journal")
+	quarantineJournal(t, path)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c1, err := New(Config{Workers: workers, ResumeJournal: path, Logger: discard()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.afterJournal = func(appended int) {
+		if appended >= 2 {
+			cancel()
+		}
+	}
+	_, _ = c1.Mine(ctx, s, fixtureOpt)
+	cancel()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New(Config{Workers: workers, ResumeJournal: path, Logger: discard()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Mine(context.Background(), s, fixtureOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("result differs after resuming from a torn journal tail")
+	}
+}
+
+// TestResumeConcurrentMinesSerialized: two concurrent journaled mines on one
+// coordinator must not interleave appends into the same file.
+func TestResumeConcurrentMinesSerialized(t *testing.T) {
+	s := fixture(t)
+	want := mustMine(t, s, fixtureOpt)
+	path := filepath.Join(t.TempDir(), "mine.journal")
+	c, err := New(Config{Workers: []string{worker(t)}, ResumeJournal: path, Logger: discard()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			got, err := c.Mine(context.Background(), s, fixtureOpt)
+			if err == nil && !reflect.DeepEqual(want, got) {
+				err = errInterleaved
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("journal still present after both mines completed (stat err %v)", err)
+	}
+}
+
+var errInterleaved = errors.New("concurrent journaled mines interleaved")

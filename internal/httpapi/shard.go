@@ -10,11 +10,14 @@ package httpapi
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -58,6 +61,12 @@ type ShardRequest struct {
 	// Engine is the evaluation strategy by name ("auto", "naive", "bitset",
 	// "fft"); empty means auto. Every engine yields identical slot values.
 	Engine string `json:"engine,omitempty"`
+	// Survivors, when present, are the coordinator's precomputed sweep
+	// results for this shard: entry i lists, strictly ascending, the symbols
+	// in [SymbolLo, SymbolHi) still viable at period MinPeriod+i. The worker
+	// then resolves those cells directly instead of re-running detection over
+	// the whole series. Omitted (nil) means the worker detects for itself.
+	Survivors [][]int32 `json:"survivors,omitempty"`
 }
 
 // ShardSlot is one symbol periodicity on the wire. Integers only: the
@@ -71,10 +80,67 @@ type ShardSlot struct {
 	Pairs    int `json:"pairs"`
 }
 
-// ShardResponse is the body of a successful POST /v1/shard.
+// ShardResponse is the body of a successful POST /v1/shard. Beyond the
+// slots it echoes the request coordinates it answered (shard ID, period
+// band, symbol range, alphabet hash) and carries a checksum over the whole
+// payload, so a coordinator can tell a corrupted or misrouted reply from a
+// genuine one before merging — merging a wrong slot silently changes the
+// mine's bytes, which the distributed tier promises never happens.
 type ShardResponse struct {
 	ShardID int         `json:"shardId"`
 	Slots   []ShardSlot `json:"slots"`
+	// MinPeriod..SymbolHi echo the request block this response answers.
+	MinPeriod int `json:"minPeriod"`
+	MaxPeriod int `json:"maxPeriod"`
+	SymbolLo  int `json:"symbolLo"`
+	SymbolHi  int `json:"symbolHi"`
+	// AlphaCRC is AlphabetCRC of the request's alphabet: a response computed
+	// against a different symbol numbering must never be merged.
+	AlphaCRC uint32 `json:"alphaCrc"`
+	// Checksum is ShardChecksum over every other field, computed by the
+	// worker and verified by the client. JSON is self-describing enough that
+	// truncation breaks decoding, but a bit flip inside a digit is valid
+	// JSON; the checksum turns it into a detected integrity failure.
+	Checksum uint32 `json:"checksum"`
+}
+
+// AlphabetCRC hashes a symbol list order-sensitively (each symbol
+// length-prefixed, so ["ab","c"] and ["a","bc"] differ).
+func AlphabetCRC(symbols []string) uint32 {
+	h := crc32.New(shardCRCTable)
+	var pre [8]byte
+	for _, s := range symbols {
+		binary.LittleEndian.PutUint64(pre[:], uint64(len(s)))
+		_, _ = h.Write(pre[:])
+		_, _ = h.Write([]byte(s))
+	}
+	return h.Sum32()
+}
+
+var shardCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ShardChecksum is the CRC-32C of a response's canonical encoding: every
+// field except Checksum itself, little-endian, slots in wire order. Both
+// sides compute it from their own decoded values, so any field the network
+// perturbed — slot integers, echoes, even slot count — mismatches.
+func ShardChecksum(resp *ShardResponse) uint32 {
+	buf := make([]byte, 0, 56+40*len(resp.Slots))
+	put := func(v int) { buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(v))) }
+	put(resp.ShardID)
+	put(resp.MinPeriod)
+	put(resp.MaxPeriod)
+	put(resp.SymbolLo)
+	put(resp.SymbolHi)
+	buf = binary.LittleEndian.AppendUint32(buf, resp.AlphaCRC)
+	put(len(resp.Slots))
+	for _, sl := range resp.Slots {
+		put(sl.Symbol)
+		put(sl.Period)
+		put(sl.Position)
+		put(sl.F2)
+		put(sl.Pairs)
+	}
+	return crc32.Checksum(buf, shardCRCTable)
 }
 
 // parseEngine maps the wire engine name (core.Engine.String values) back to
@@ -135,22 +201,34 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	start := time.Now()
-	slots, err := core.MineShardSlots(ctx, ser, core.Options{
+	opt := core.Options{
 		Threshold: req.Threshold, MinPeriod: req.MinPeriod, MaxPeriod: req.MaxPeriod,
 		MinPairs: req.MinPairs, Engine: eng,
-	}, req.SymbolLo, req.SymbolHi)
+	}
+	var slots []core.SymbolPeriodicity
+	if req.Survivors != nil {
+		slots, err = core.MineShardSlotsFromSurvivors(ctx, ser, opt, req.SymbolLo, req.SymbolHi, req.Survivors)
+	} else {
+		slots, err = core.MineShardSlots(ctx, ser, opt, req.SymbolLo, req.SymbolHi)
+	}
 	s.metrics.Endpoint("/v1/shard").ObserveMine(time.Since(start))
 	if err != nil {
 		s.writeMineError(w, r, err)
 		return
 	}
-	resp := ShardResponse{ShardID: req.ShardID, Slots: make([]ShardSlot, 0, len(slots))}
+	resp := ShardResponse{
+		ShardID: req.ShardID, Slots: make([]ShardSlot, 0, len(slots)),
+		MinPeriod: req.MinPeriod, MaxPeriod: req.MaxPeriod,
+		SymbolLo: req.SymbolLo, SymbolHi: req.SymbolHi,
+		AlphaCRC: AlphabetCRC(req.Alphabet),
+	}
 	for _, sp := range slots {
 		resp.Slots = append(resp.Slots, ShardSlot{
 			Symbol: sp.Symbol, Period: sp.Period, Position: sp.Position,
 			F2: sp.F2, Pairs: sp.Pairs,
 		})
 	}
+	resp.Checksum = ShardChecksum(&resp)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -166,10 +244,43 @@ type WorkerStatusError struct {
 	Worker string
 	Status int
 	Msg    string
+	// RetryAfter is the worker's Retry-After header as a duration (integer
+	// seconds, clamped to [1s, 30s]); zero when absent or unparseable. The
+	// coordinator uses it as a floor under its own backoff.
+	RetryAfter time.Duration
 }
 
 func (e *WorkerStatusError) Error() string {
 	return fmt.Sprintf("worker %s: status %d: %s", e.Worker, e.Status, e.Msg)
+}
+
+// parseRetryAfter reads an integer-seconds Retry-After value. The HTTP-date
+// form is ignored — a fault injector or shedding worker sends seconds, and a
+// wall-clock comparison would make backoff depend on clock skew.
+func parseRetryAfter(header string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(header))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	const maxRetryAfter = 30 * time.Second
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return d
+}
+
+// ShardIntegrityError is a /v1/shard reply that arrived but cannot be
+// trusted: undecodable body, wrong echo coordinates, or checksum mismatch.
+// Always retryable — the worker may answer correctly next time — but counted
+// separately from status failures so corruption is visible in metrics.
+type ShardIntegrityError struct {
+	Worker string
+	Detail string
+}
+
+func (e *ShardIntegrityError) Error() string {
+	return fmt.Sprintf("worker %s: shard integrity: %s", e.Worker, e.Detail)
 }
 
 // Retryable reports whether another attempt could succeed: the worker shed
@@ -210,14 +321,42 @@ func (c *ShardClient) MineShard(ctx context.Context, worker string, req *ShardRe
 				msg = strings.TrimSpace(string(b))
 			}
 		}
-		return nil, &WorkerStatusError{Worker: worker, Status: resp.StatusCode, Msg: msg}
+		return nil, &WorkerStatusError{
+			Worker: worker, Status: resp.StatusCode, Msg: msg,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	var out ShardResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("worker %s: bad shard response: %w", worker, err)
+		// Truncated or mangled beyond JSON: same trust failure as a checksum
+		// mismatch, so classify it the same way.
+		return nil, &ShardIntegrityError{Worker: worker, Detail: fmt.Sprintf("undecodable response: %v", err)}
 	}
-	if out.ShardID != req.ShardID {
-		return nil, fmt.Errorf("worker %s: shard id mismatch: sent %d, got %d", worker, req.ShardID, out.ShardID)
+	if err := VerifyShardResponse(req, &out); err != nil {
+		return nil, &ShardIntegrityError{Worker: worker, Detail: err.Error()}
 	}
 	return &out, nil
+}
+
+// VerifyShardResponse checks a decoded response against the request it
+// answers: checksum first (any perturbed field), then the echoes (a
+// well-formed response to the wrong question). Exported so double-dispatch
+// verification can reuse the exact acceptance rule.
+func VerifyShardResponse(req *ShardRequest, resp *ShardResponse) error {
+	if got := ShardChecksum(resp); got != resp.Checksum {
+		return fmt.Errorf("checksum mismatch: response declares %08x, contents hash to %08x", resp.Checksum, got)
+	}
+	if resp.ShardID != req.ShardID {
+		return fmt.Errorf("shard id mismatch: sent %d, got %d", req.ShardID, resp.ShardID)
+	}
+	if resp.MinPeriod != req.MinPeriod || resp.MaxPeriod != req.MaxPeriod ||
+		resp.SymbolLo != req.SymbolLo || resp.SymbolHi != req.SymbolHi {
+		return fmt.Errorf("block echo mismatch: sent periods [%d,%d] symbols [%d,%d), got periods [%d,%d] symbols [%d,%d)",
+			req.MinPeriod, req.MaxPeriod, req.SymbolLo, req.SymbolHi,
+			resp.MinPeriod, resp.MaxPeriod, resp.SymbolLo, resp.SymbolHi)
+	}
+	if want := AlphabetCRC(req.Alphabet); resp.AlphaCRC != want {
+		return fmt.Errorf("alphabet hash mismatch: request alphabet hashes to %08x, response answered %08x", want, resp.AlphaCRC)
+	}
+	return nil
 }

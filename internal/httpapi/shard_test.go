@@ -162,6 +162,191 @@ func TestShardClientStatusErrors(t *testing.T) {
 	}
 }
 
+// TestShardResponseStampedAndVerifiable: the worker stamps its response with
+// the request echoes and a checksum the client's acceptance rule verifies.
+func TestShardResponseStampedAndVerifiable(t *testing.T) {
+	req := ShardRequest{
+		ShardID: 9, Alphabet: []string{"a", "b", "c"}, Symbols: strings.Repeat("abcabbabcb", 5),
+		Threshold: 0.6, MinPeriod: 2, MaxPeriod: 8, SymbolLo: 1, SymbolHi: 3,
+	}
+	rec := post(t, quiet(Config{}), "/v1/shard", shardBody(t, req))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp ShardResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyShardResponse(&req, &resp); err != nil {
+		t.Fatalf("worker's own response fails verification: %v", err)
+	}
+	if resp.MinPeriod != 2 || resp.MaxPeriod != 8 || resp.SymbolLo != 1 || resp.SymbolHi != 3 {
+		t.Fatalf("echoes %+v do not match the request block", resp)
+	}
+	if resp.AlphaCRC != AlphabetCRC(req.Alphabet) {
+		t.Fatal("alphabet hash echo differs from the request alphabet")
+	}
+}
+
+// TestShardClientRejectsCorruptResponses: every corruption of a valid 200
+// body must surface as ShardIntegrityError, never as a decoded response.
+func TestShardClientRejectsCorruptResponses(t *testing.T) {
+	req := &ShardRequest{
+		ShardID: 3, Alphabet: []string{"a", "b"}, Symbols: strings.Repeat("abab", 10),
+		Threshold: 0.5, MinPeriod: 1, MaxPeriod: 6, SymbolLo: 0, SymbolHi: 2,
+	}
+	worker := httptest.NewServer(quiet(Config{}))
+	defer worker.Close()
+	var c ShardClient
+	good, err := c.MineShard(context.Background(), worker.URL, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := json.Marshal(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reencode := func(f func(*ShardResponse)) []byte {
+		r := *good
+		r.Slots = append([]ShardSlot(nil), good.Slots...)
+		f(&r)
+		b, err := json.Marshal(&r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := map[string][]byte{
+		"truncated":          pristine[:len(pristine)/2],
+		"not json":           []byte("<html>504 gateway</html>"),
+		"slot value changed": reencode(func(r *ShardResponse) { r.Slots[0].F2++ }),
+		"slot dropped":       reencode(func(r *ShardResponse) { r.Slots = r.Slots[1:] }),
+		"wrong shard id": reencode(func(r *ShardResponse) {
+			r.ShardID = 99
+			r.Checksum = ShardChecksum(r) // internally consistent, wrong block
+		}),
+		"wrong band": reencode(func(r *ShardResponse) {
+			r.MaxPeriod = 7
+			r.Checksum = ShardChecksum(r)
+		}),
+		"wrong alphabet": reencode(func(r *ShardResponse) {
+			r.AlphaCRC++
+			r.Checksum = ShardChecksum(r)
+		}),
+		"checksum zeroed": reencode(func(r *ShardResponse) { r.Checksum = 0 }),
+	}
+	for name, body := range cases {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			_, _ = w.Write(body)
+		}))
+		_, err := c.MineShard(context.Background(), srv.URL, req)
+		srv.Close()
+		var ie *ShardIntegrityError
+		if !errors.As(err, &ie) {
+			t.Errorf("%s: err = %v, want ShardIntegrityError", name, err)
+		}
+	}
+}
+
+// TestShardClientParsesRetryAfter: integer seconds clamp to [1s,30s]; dates
+// and garbage read as zero.
+func TestShardClientParsesRetryAfter(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"3", 3 * time.Second},
+		{"1", time.Second},
+		{"9999", 30 * time.Second},
+		{"0", 0},
+		{"-5", 0},
+		{"Wed, 21 Oct 2026 07:28:00 GMT", 0},
+		{"", 0},
+	}
+	req := &ShardRequest{
+		ShardID: 1, Alphabet: []string{"a"}, Symbols: "aaaa",
+		Threshold: 0.5, MinPeriod: 1, MaxPeriod: 2, SymbolLo: 0, SymbolHi: 1,
+	}
+	var c ShardClient
+	for _, tc := range cases {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if tc.header != "" {
+				w.Header().Set("Retry-After", tc.header)
+			}
+			w.WriteHeader(http.StatusTooManyRequests)
+		}))
+		_, err := c.MineShard(context.Background(), srv.URL, req)
+		srv.Close()
+		var wse *WorkerStatusError
+		if !errors.As(err, &wse) {
+			t.Fatalf("header %q: err = %v, want WorkerStatusError", tc.header, err)
+		}
+		if wse.RetryAfter != tc.want {
+			t.Errorf("header %q: RetryAfter = %v, want %v", tc.header, wse.RetryAfter, tc.want)
+		}
+	}
+}
+
+// TestShardSurvivorsRequest: a shipped survivor set yields the same slots as
+// self-detection, and malformed sets are rejected as bad requests.
+func TestShardSurvivorsRequest(t *testing.T) {
+	text := strings.Repeat("abcabbabcb", 10)
+	base := ShardRequest{
+		ShardID: 5, Alphabet: []string{"a", "b", "c"}, Symbols: text,
+		Threshold: 0.6, MinPeriod: 2, MaxPeriod: 8, SymbolLo: 0, SymbolHi: 3,
+	}
+	h := quiet(Config{})
+	rec := post(t, h, "/v1/shard", shardBody(t, base))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("self-detect status %d: %s", rec.Code, rec.Body)
+	}
+	var want ShardResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Slots) == 0 {
+		t.Fatal("fixture produced no slots; the test is vacuous")
+	}
+
+	alpha := alphabet.MustNew("a", "b", "c")
+	ser, err := series.FromAlphabetText(alpha, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surv, err := core.ShardSurvivors(context.Background(), ser,
+		core.Options{Threshold: 0.6, MinPeriod: 2, MaxPeriod: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipped := base
+	shipped.Survivors = surv
+	rec = post(t, h, "/v1/shard", shardBody(t, shipped))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("shipped status %d: %s", rec.Code, rec.Body)
+	}
+	var got ShardResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Slots, got.Slots) {
+		t.Fatal("shipped-survivor slots differ from self-detected slots")
+	}
+
+	for name, surv := range map[string][][]int32{
+		"wrong span":      {{0}},
+		"symbol past hi":  {{0, 7}, {}, {}, {}, {}, {}, {}},
+		"descending list": {{1, 0}, {}, {}, {}, {}, {}, {}},
+	} {
+		bad := base
+		bad.Survivors = surv
+		rec := post(t, h, "/v1/shard", shardBody(t, bad))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", name, rec.Code, rec.Body)
+		}
+	}
+}
+
 // TestRetryAfterComputed: the 429 Retry-After must scale with the observed
 // mine durations and gate occupancy, clamped to [1, 60].
 func TestRetryAfterComputed(t *testing.T) {

@@ -1,0 +1,197 @@
+package netfault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoServer answers every POST with its request body and counts deliveries.
+func echoServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Errorf("server read: %v", err)
+		}
+		_, _ = w.Write(body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func post(t *testing.T, c *http.Client, url, body string) (*http.Response, []byte, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() { _ = resp.Body.Close() }() // test read; nothing to lose on close
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b, nil
+}
+
+func client(in *Injector) *http.Client { return &http.Client{Transport: in} }
+
+func TestDropLosesResponseAfterDelivery(t *testing.T) {
+	srv, hits := echoServer(t)
+	in := New(nil, Plan{Fault: FaultDrop, Attempt: 1}, 1)
+	_, _, err := post(t, client(in), srv.URL, "hello")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d deliveries, want 1 (drop loses the response, not the request)", hits.Load())
+	}
+	// The next attempt in the same bucket passes untouched.
+	_, body, err := post(t, client(in), srv.URL, "again")
+	if err != nil || string(body) != "again" {
+		t.Fatalf("post-fault request: body %q err %v", body, err)
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", in.Fired())
+	}
+}
+
+func TestDelayHoldsThenForwards(t *testing.T) {
+	srv, _ := echoServer(t)
+	in := New(nil, Plan{Fault: FaultDelay, Attempt: 1, Delay: 50 * time.Millisecond}, 1)
+	start := time.Now()
+	_, body, err := post(t, client(in), srv.URL, "slow")
+	if err != nil || string(body) != "slow" {
+		t.Fatalf("body %q err %v", body, err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("request completed in %v, want ≥ the 50ms injected delay", d)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	srv, hits := echoServer(t)
+	in := New(nil, Plan{Fault: FaultDuplicate, Attempt: 1}, 1)
+	_, body, err := post(t, client(in), srv.URL, "twice")
+	if err != nil || string(body) != "twice" {
+		t.Fatalf("body %q err %v", body, err)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d deliveries, want 2", hits.Load())
+	}
+}
+
+func TestTruncateIsDeterministicStrictPrefix(t *testing.T) {
+	srv, _ := echoServer(t)
+	full := strings.Repeat("0123456789", 20)
+	var got [2]string
+	for i := range got {
+		in := New(nil, Plan{Fault: FaultTruncate, Attempt: 1}, 42)
+		resp, body, err := post(t, client(in), srv.URL, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(body) >= len(full) || !strings.HasPrefix(full, string(body)) {
+			t.Fatalf("body %q is not a strict prefix of the original", body)
+		}
+		if int(resp.ContentLength) != len(body) {
+			t.Fatalf("Content-Length %d disagrees with body length %d — truncation must be invisible at the HTTP layer",
+				resp.ContentLength, len(body))
+		}
+		got[i] = string(body)
+	}
+	if got[0] != got[1] {
+		t.Fatalf("same seed truncated differently: %d vs %d bytes", len(got[0]), len(got[1]))
+	}
+}
+
+func TestBitFlipFlipsExactlyOneBitDeterministically(t *testing.T) {
+	srv, _ := echoServer(t)
+	full := strings.Repeat("abcdefgh", 16)
+	var got [2][]byte
+	for i := range got {
+		in := New(nil, Plan{Fault: FaultBitFlip, Attempt: 1}, 7)
+		_, body, err := post(t, client(in), srv.URL, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[i] = body
+	}
+	if !bytes.Equal(got[0], got[1]) {
+		t.Fatal("same seed flipped different bits")
+	}
+	diffBits := 0
+	for i := range got[0] {
+		b := got[0][i] ^ full[i]
+		for ; b != 0; b &= b - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("flipped %d bits, want exactly 1", diffBits)
+	}
+}
+
+func TestStatusInjectsRetryAfter(t *testing.T) {
+	srv, hits := echoServer(t)
+	in := New(nil, Plan{Fault: FaultStatus, Attempt: 1, Status: 429, RetryAfterSecs: 3}, 1)
+	resp, _, err := post(t, client(in), srv.URL, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 429 || resp.Header.Get("Retry-After") != "3" {
+		t.Fatalf("status %d Retry-After %q, want 429 / 3", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("synthetic status must not reach the server; saw %d deliveries", hits.Load())
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	srv, _ := echoServer(t)
+	in := New(nil, Plan{}, 1)
+	host := strings.TrimPrefix(srv.URL, "http://")
+	in.Partition(host)
+	if _, _, err := post(t, client(in), srv.URL, "x"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("err = %v, want ErrPartitioned", err)
+	}
+	in.Heal(host)
+	if _, body, err := post(t, client(in), srv.URL, "back"); err != nil || string(body) != "back" {
+		t.Fatalf("after heal: body %q err %v", body, err)
+	}
+}
+
+// TestBucketCountingIsPerKey: with a body-derived key, the Nth attempt of
+// each bucket is faulted regardless of interleaving with other buckets.
+func TestBucketCountingIsPerKey(t *testing.T) {
+	srv, _ := echoServer(t)
+	in := New(nil, Plan{Fault: FaultStatus, Attempt: 2, Status: 500}, 1)
+	in.SetKeyFunc(func(r *http.Request) string { return string(PeekBody(r)) })
+	c := client(in)
+	for _, bucket := range []string{"a", "b"} {
+		if resp, _, err := post(t, c, srv.URL, bucket); err != nil || resp.StatusCode != 200 {
+			t.Fatalf("bucket %s attempt 1: %v", bucket, err)
+		}
+	}
+	for _, bucket := range []string{"a", "b"} {
+		resp, _, err := post(t, c, srv.URL, bucket)
+		if err != nil || resp.StatusCode != 500 {
+			t.Fatalf("bucket %s attempt 2: status %v err %v, want injected 500", bucket, resp, err)
+		}
+	}
+	if in.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", in.Fired())
+	}
+}

@@ -312,6 +312,22 @@ type DistMetrics struct {
 	Retries        Counter
 	Hedges         Counter
 	LocalFallbacks Counter
+	// IntegrityFailures counts shard responses that arrived but could not be
+	// trusted: undecodable bodies, checksum mismatches, wrong echoes. Each is
+	// retried, so a nonzero rate with zero failed mines means the integrity
+	// layer is absorbing corruption, not that data was lost.
+	IntegrityFailures Counter
+	// VerifyMismatches counts sampled double-dispatch verifications whose two
+	// workers returned different bytes for the same shard. Any nonzero value
+	// is an alarm: either a worker is computing wrongly or corruption got
+	// past the checksum.
+	VerifyMismatches Counter
+	// BreakerOpens counts circuit-breaker transitions into the open state.
+	BreakerOpens Counter
+	// ResumedMines counts mines that skipped at least one journaled shard on
+	// startup; ResumedShards counts the shards so skipped.
+	ResumedMines  Counter
+	ResumedShards Counter
 }
 
 var distMetrics DistMetrics //opvet:racesafe counters are atomics; the worker map and histogram are guarded by mu
@@ -377,6 +393,16 @@ func (m *DistMetrics) renderDist(b *strings.Builder) {
 	b.WriteString(fmt.Sprintf("periodica_dist_hedges_total %d\n", m.Hedges.Value()))
 	b.WriteString("# TYPE periodica_dist_local_fallbacks_total counter\n")
 	b.WriteString(fmt.Sprintf("periodica_dist_local_fallbacks_total %d\n", m.LocalFallbacks.Value()))
+	b.WriteString("# TYPE periodica_dist_integrity_failures_total counter\n")
+	b.WriteString(fmt.Sprintf("periodica_dist_integrity_failures_total %d\n", m.IntegrityFailures.Value()))
+	b.WriteString("# TYPE periodica_dist_verify_mismatches_total counter\n")
+	b.WriteString(fmt.Sprintf("periodica_dist_verify_mismatches_total %d\n", m.VerifyMismatches.Value()))
+	b.WriteString("# TYPE periodica_dist_breaker_opens_total counter\n")
+	b.WriteString(fmt.Sprintf("periodica_dist_breaker_opens_total %d\n", m.BreakerOpens.Value()))
+	b.WriteString("# TYPE periodica_dist_resumed_mines_total counter\n")
+	b.WriteString(fmt.Sprintf("periodica_dist_resumed_mines_total %d\n", m.ResumedMines.Value()))
+	b.WriteString("# TYPE periodica_dist_resumed_shards_total counter\n")
+	b.WriteString(fmt.Sprintf("periodica_dist_resumed_shards_total %d\n", m.ResumedShards.Value()))
 	b.WriteString("# TYPE periodica_dist_shard_duration_seconds histogram\n")
 	m.ShardLatency().renderBuckets(b, "periodica_dist_shard_duration_seconds", "")
 }

@@ -305,6 +305,11 @@ func TestDistMetricsRender(t *testing.T) {
 		"# TYPE periodica_dist_retries_total counter",
 		"# TYPE periodica_dist_hedges_total counter",
 		"# TYPE periodica_dist_local_fallbacks_total counter",
+		"# TYPE periodica_dist_integrity_failures_total counter",
+		"# TYPE periodica_dist_verify_mismatches_total counter",
+		"# TYPE periodica_dist_breaker_opens_total counter",
+		"# TYPE periodica_dist_resumed_mines_total counter",
+		"# TYPE periodica_dist_resumed_shards_total counter",
 		"# TYPE periodica_dist_shard_duration_seconds histogram",
 		"periodica_dist_shard_duration_seconds_count",
 	} {

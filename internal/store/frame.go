@@ -7,7 +7,7 @@
 //
 //	offset size
 //	0      4    magic "OPF1"
-//	4      1    record kind (1 manifest, 2 segment, 3 summary)
+//	4      1    record kind (1 manifest, 2 segment, 3 summary, 4 journal record)
 //	5      1    format version (currently 1)
 //	6      2    reserved, zero
 //	8      8    payload length, little-endian
@@ -30,6 +30,7 @@ const (
 	kindManifest byte = 1
 	kindSegment  byte = 2
 	kindSummary  byte = 3
+	kindJournal  byte = 4
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -42,6 +43,8 @@ func kindName(kind byte) string {
 		return "segment"
 	case kindSummary:
 		return "summary"
+	case kindJournal:
+		return "journal"
 	}
 	return fmt.Sprintf("kind %d", kind)
 }

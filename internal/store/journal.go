@@ -1,0 +1,147 @@
+package store
+
+// Append-only record journal over the store's checksummed frame format. A
+// journal is a single file of concatenated kindJournal frames, each fsynced
+// as it is appended, so a reader after a crash sees an exact prefix of the
+// records written — the same guarantee the segment log gives, without the
+// temp-and-rename commit (a journal record is cheap and frequent; a torn
+// tail is expected and simply truncated away on open).
+//
+// The distributed coordinator uses this to checkpoint completed shards of a
+// mine: each record is one shard's slot set, and an interrupted mine resumes
+// from the clean prefix instead of restarting.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"periodica/internal/iofault"
+	"periodica/internal/obs"
+)
+
+// Journal is an append-only log of framed records. Not safe for concurrent
+// use; callers serialize appends (the coordinator holds its own mutex).
+type Journal struct {
+	fsys iofault.FS
+	path string
+	f    iofault.File
+	off  int64 // end of the clean prefix; appends land here
+}
+
+// OpenJournal opens (creating if missing) the journal at path, scans its
+// records, truncates any torn or corrupt tail, and returns the payloads of
+// the clean prefix. A record that fails its CRC ends the clean prefix —
+// everything after it is unreachable by the append-only protocol and is
+// discarded, counted as a checksum failure in the recovery metrics.
+func OpenJournal(fsys iofault.FS, path string) (*Journal, [][]byte, error) {
+	created := false
+	if _, err := fsys.Stat(path); err != nil {
+		created = true
+	}
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	opened := false
+	defer func() {
+		if !opened {
+			_ = f.Close() // the error being returned is the one worth reporting
+		}
+	}()
+	if created {
+		// Make the journal file itself durable before recording into it.
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			return nil, nil, fmt.Errorf("store: sync journal dir: %w", err)
+		}
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: read journal: %w", err)
+	}
+	records, clean := scanJournal(data)
+	if clean < int64(len(data)) {
+		if err := f.Truncate(clean); err != nil {
+			return nil, nil, fmt.Errorf("store: truncate torn journal tail: %w", err)
+		}
+		// Make the trim durable, so a crash cannot resurrect the torn tail
+		// under records appended after it.
+		if err := f.Sync(); err != nil {
+			return nil, nil, fmt.Errorf("store: sync truncated journal: %w", err)
+		}
+	}
+	opened = true
+	return &Journal{fsys: fsys, path: path, f: f, off: clean}, records, nil
+}
+
+// scanJournal walks concatenated journal frames and returns the payloads of
+// the longest decodable prefix plus its byte length.
+func scanJournal(data []byte) ([][]byte, int64) {
+	var records [][]byte
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) < frameHeaderLen+frameTrailerLen {
+			break // empty or torn header
+		}
+		if string(rest[:4]) != frameMagic || rest[4] != kindJournal ||
+			rest[5] != frameVersion || rest[6] != 0 || rest[7] != 0 {
+			break
+		}
+		plen := binary.LittleEndian.Uint64(rest[8:])
+		total := uint64(frameHeaderLen) + plen + frameTrailerLen
+		if plen > uint64(len(rest)) || total > uint64(len(rest)) {
+			break // torn payload
+		}
+		want := binary.LittleEndian.Uint32(rest[total-frameTrailerLen:])
+		got := crc32.Checksum(rest[:total-frameTrailerLen], crcTable)
+		if got != want {
+			obs.Recovery().ChecksumFailures.Inc()
+			break
+		}
+		payload := make([]byte, plen)
+		copy(payload, rest[frameHeaderLen:total-frameTrailerLen])
+		records = append(records, payload)
+		off += int(total)
+	}
+	return records, int64(off)
+}
+
+// Append frames payload, writes it at the journal's end, and fsyncs, so a
+// successful Append is durable: a crash at any later point replays it.
+func (j *Journal) Append(payload []byte) error {
+	frame := encodeFrame(kindJournal, payload)
+	if _, err := j.f.WriteAt(frame, j.off); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: journal sync: %w", err)
+	}
+	j.off += int64(len(frame))
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the journal file, leaving its records on disk.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	f := j.f
+	j.f = nil
+	return f.Close()
+}
+
+// Remove closes the journal and deletes its file — the mine completed, so
+// there is nothing left to resume.
+func (j *Journal) Remove() error {
+	if err := j.Close(); err != nil {
+		return err
+	}
+	return j.fsys.Remove(j.path)
+}
