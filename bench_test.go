@@ -10,14 +10,14 @@ import (
 
 	"periodica/internal/cimeg"
 	"periodica/internal/core"
-	"periodica/internal/expr"
+	"periodica/internal/experiments"
 	"periodica/internal/gen"
 	"periodica/internal/series"
 	"periodica/internal/trends"
 	"periodica/internal/walmart"
 )
 
-var benchCorrectness = expr.CorrectnessConfig{
+var benchCorrectness = experiments.CorrectnessConfig{
 	Length: 20000, Sigma: 10, Periods: []int{25, 32},
 	Dists:     []gen.Distribution{gen.Uniform, gen.Normal},
 	Multiples: 3, Runs: 2, Seed: 1,
@@ -27,7 +27,7 @@ var benchCorrectness = expr.CorrectnessConfig{
 // confidence at P, 2P, 3P on inerrant data (all points must be 1).
 func BenchmarkFig3aCorrectnessInerrant(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := expr.Correctness(benchCorrectness, expr.MinerConfidence())
+		points, err := experiments.Correctness(benchCorrectness, experiments.MinerConfidence())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -43,7 +43,7 @@ func BenchmarkFig3bCorrectnessNoisy(b *testing.B) {
 	cfg.Noise = gen.Replacement
 	cfg.Ratio = 0.2
 	for i := 0; i < b.N; i++ {
-		points, err := expr.Correctness(cfg, expr.MinerConfidence())
+		points, err := experiments.Correctness(cfg, experiments.MinerConfidence())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -55,7 +55,7 @@ func BenchmarkFig3bCorrectnessNoisy(b *testing.B) {
 // baseline's normalized-rank confidence on inerrant data.
 func BenchmarkFig4aTrendsInerrant(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := expr.Correctness(benchCorrectness, expr.TrendsConfidence(false, 0, 1))
+		points, err := experiments.Correctness(benchCorrectness, experiments.TrendsConfidence(false, 0, 1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -70,7 +70,7 @@ func BenchmarkFig4bTrendsNoisy(b *testing.B) {
 	cfg.Noise = gen.Replacement
 	cfg.Ratio = 0.3
 	for i := 0; i < b.N; i++ {
-		points, err := expr.Correctness(cfg, expr.TrendsConfidence(false, 0, 1))
+		points, err := experiments.Correctness(cfg, experiments.TrendsConfidence(false, 0, 1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,10 +105,10 @@ func BenchmarkFig5Detection(b *testing.B) {
 // BenchmarkFig6NoiseResilience regenerates Fig. 6: confidence at the
 // embedded period per noise mixture and ratio.
 func BenchmarkFig6NoiseResilience(b *testing.B) {
-	for _, kind := range expr.AllNoiseKinds {
+	for _, kind := range experiments.AllNoiseKinds {
 		b.Run(kind.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				points, err := expr.NoiseResilience(expr.NoiseConfig{
+				points, err := experiments.NoiseResilience(experiments.NoiseConfig{
 					Length: 20000, Sigma: 10, Period: 25, Dist: gen.Uniform,
 					Kinds: []gen.Noise{kind}, Ratios: []float64{0.1, 0.3, 0.5},
 					Runs: 2, Seed: 2,
@@ -134,7 +134,7 @@ func BenchmarkTable1Periods(b *testing.B) {
 	thresholds := []int{100, 90, 80, 70, 60, 50, 40, 30, 20, 10}
 	b.Run("walmart", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			rows, err := expr.PeriodTable(wm, thresholds, 0, 4)
+			rows, err := experiments.PeriodTable(wm, thresholds, 0, 4)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -143,7 +143,7 @@ func BenchmarkTable1Periods(b *testing.B) {
 	})
 	b.Run("cimeg", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			rows, err := expr.PeriodTable(cm, thresholds, 0, 4)
+			rows, err := experiments.PeriodTable(cm, thresholds, 0, 4)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -160,7 +160,7 @@ func BenchmarkTable2SinglePatterns(b *testing.B) {
 	thresholds := []int{100, 90, 80, 70, 60, 50}
 	b.Run("walmart/p=24", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			rows, err := expr.SinglePatternTable(wm, 24, thresholds)
+			rows, err := experiments.SinglePatternTable(wm, 24, thresholds)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -169,7 +169,7 @@ func BenchmarkTable2SinglePatterns(b *testing.B) {
 	})
 	b.Run("cimeg/p=7", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			rows, err := expr.SinglePatternTable(cm, 7, thresholds)
+			rows, err := experiments.SinglePatternTable(cm, 7, thresholds)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -184,7 +184,7 @@ func BenchmarkTable3Patterns(b *testing.B) {
 	wm := walmart.Series(walmart.Config{Months: 15, Seed: 5})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := expr.PatternTable(wm, 24, 0.35, 1000)
+		rows, err := experiments.PatternTable(wm, 24, 0.35, 1000)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -192,7 +192,7 @@ func BenchmarkTable3Patterns(b *testing.B) {
 	}
 }
 
-func pointsConf(points []expr.CorrectnessPoint) []float64 {
+func pointsConf(points []experiments.CorrectnessPoint) []float64 {
 	out := make([]float64, len(points))
 	for i, pt := range points {
 		out[i] = pt.Confidence

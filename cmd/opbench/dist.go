@@ -56,7 +56,11 @@ func distBench(sc scale, seed int64, jsonPath string) error {
 	// tens of thousands of candidate periods through the O(n)-per-slot
 	// resolve stage and the run takes minutes per mine. 2048 keeps the
 	// shard plan wide enough to split across every worker count measured.
-	opt := periodica.Options{Threshold: 0.6, MaxPeriod: 2048, MinPairs: 3, MaxPatternPeriod: 64}
+	q, err := periodica.CompileQuery("conf >= 0.6 and period <= 2048 and pairs >= 3 and pattern period <= 64")
+	if err != nil {
+		return err
+	}
+	opt := q.Options()
 
 	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
 	const maxWorkers = 4

@@ -13,6 +13,9 @@
 //	opbench kernels         # per-kernel convolution breakdown (complex vs
 //	                        # real vs four-step, tuned vs pinned crossovers)
 //	opbench dist            # sharded-coordinator scaling vs the local mine
+//	opbench -query 'conf >= 0.5 and period in 2..64' query
+//	                        # time one pattern query end to end (compile,
+//	                        # mine, shape) over the Wal-Mart substitute
 //	opbench all
 //
 // The default scale finishes in minutes; -quick names it explicitly (CI
@@ -36,8 +39,9 @@ import (
 	"runtime"
 	"time"
 
+	"periodica"
 	"periodica/internal/cimeg"
-	"periodica/internal/expr"
+	"periodica/internal/experiments"
 	"periodica/internal/fft"
 	"periodica/internal/gen"
 	"periodica/internal/series"
@@ -73,6 +77,7 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "also write the fig5 timing points (or kernels breakdown) to this file as JSON")
 	tune := flag.String("tune", "", "load an fft tuned-profile JSON before benchmarking (default $PERIODICA_TUNE_FILE)")
 	autotune := flag.Duration("autotune", 0, "run a calibration sweep of this duration and apply (and, with -tune, save) the profile")
+	querySrc := flag.String("query", "", "pattern query for the query experiment (default $PERIODICA_QUERY)")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -120,6 +125,8 @@ func main() {
 			err = kernels(sc, *seed, *benchJSON)
 		case "dist":
 			err = distBench(sc, *seed, *benchJSON)
+		case "query":
+			err = queryBench(sc, *seed, *querySrc)
 		case "ablation":
 			err = ablation(sc, *seed)
 		case "quality":
@@ -141,8 +148,8 @@ func main() {
 	}
 }
 
-func correctnessConfig(sc scale, seed int64) expr.CorrectnessConfig {
-	return expr.CorrectnessConfig{
+func correctnessConfig(sc scale, seed int64) experiments.CorrectnessConfig {
+	return experiments.CorrectnessConfig{
 		Length: sc.length, Sigma: 10, Periods: []int{25, 32},
 		Dists:     []gen.Distribution{gen.Uniform, gen.Normal},
 		Multiples: 3, Runs: sc.runs, Seed: seed,
@@ -151,21 +158,21 @@ func correctnessConfig(sc scale, seed int64) expr.CorrectnessConfig {
 
 func fig3(sc scale, seed int64) error {
 	cfg := correctnessConfig(sc, seed)
-	points, err := expr.Correctness(cfg, expr.MinerConfidence())
+	points, err := experiments.Correctness(cfg, experiments.MinerConfidence())
 	if err != nil {
 		return err
 	}
-	if err := expr.RenderCorrectness(os.Stdout, "Fig. 3(a) — miner correctness, inerrant data (confidence at multiples of P)", points); err != nil {
+	if err := experiments.RenderCorrectness(os.Stdout, "Fig. 3(a) — miner correctness, inerrant data (confidence at multiples of P)", points); err != nil {
 		return err
 	}
 
 	cfg.Noise = gen.Replacement
 	cfg.Ratio = 0.2
-	points, err = expr.Correctness(cfg, expr.MinerConfidence())
+	points, err = experiments.Correctness(cfg, experiments.MinerConfidence())
 	if err != nil {
 		return err
 	}
-	if err := expr.RenderCorrectness(os.Stdout, "\nFig. 3(b) — miner correctness, 20% replacement noise", points); err != nil {
+	if err := experiments.RenderCorrectness(os.Stdout, "\nFig. 3(b) — miner correctness, 20% replacement noise", points); err != nil {
 		return err
 	}
 	fmt.Println()
@@ -180,28 +187,28 @@ func fig4(sc scale, seed int64) error {
 	// so panel (b) sweeps multiples geometrically; the miner's panel at the
 	// same multiples (fig3) shows no comparable distance-driven trend.
 	cfg := correctnessConfig(sc, seed)
-	points, err := expr.Correctness(cfg, expr.TrendsConfidence(true, 0, seed))
+	points, err := experiments.Correctness(cfg, experiments.TrendsConfidence(true, 0, seed))
 	if err != nil {
 		return err
 	}
-	if err := expr.RenderCorrectness(os.Stdout, "Fig. 4(a) — periodic trends correctness, inerrant data (normalized rank)", points); err != nil {
+	if err := experiments.RenderCorrectness(os.Stdout, "Fig. 4(a) — periodic trends correctness, inerrant data (normalized rank)", points); err != nil {
 		return err
 	}
 
 	cfg.Noise = gen.Replacement
 	cfg.Ratio = 0.5
-	points, err = expr.Correctness(cfg, expr.TrendsConfidence(true, 0, seed))
+	points, err = experiments.Correctness(cfg, experiments.TrendsConfidence(true, 0, seed))
 	if err != nil {
 		return err
 	}
-	if err := expr.RenderCorrectness(os.Stdout, "\nFig. 4(b) — periodic trends correctness, 50% replacement noise (note the large-period bias)", points); err != nil {
+	if err := experiments.RenderCorrectness(os.Stdout, "\nFig. 4(b) — periodic trends correctness, 50% replacement noise (note the large-period bias)", points); err != nil {
 		return err
 	}
 
 	// Make the bias concrete: under noise the absolute distance shrinks
 	// with the overlap n−p, so the top of the trends candidate list fills
 	// with the largest multiples while the true period ranks mid-pack.
-	stats, err := expr.TrendsBias(cfg.Length, 25, 0.5, seed)
+	stats, err := experiments.TrendsBias(cfg.Length, 25, 0.5, seed)
 	if err != nil {
 		return err
 	}
@@ -214,7 +221,7 @@ func fig4(sc scale, seed int64) error {
 }
 
 func fig5(sc scale, seed int64, jsonPath string) error {
-	points, err := expr.Timing(sc.timingSizes, func(n int) (*series.Series, error) {
+	points, err := experiments.Timing(sc.timingSizes, func(n int) (*series.Series, error) {
 		months := n/(30*24) + 1
 		s := walmart.Series(walmart.Config{Months: months, Seed: seed, DST: true})
 		return s.Slice(0, n), nil
@@ -222,7 +229,7 @@ func fig5(sc scale, seed int64, jsonPath string) error {
 	if err != nil {
 		return err
 	}
-	if err := expr.RenderTiming(os.Stdout, "Fig. 5 — detection-phase time vs series length (Wal-Mart-style data)", points); err != nil {
+	if err := experiments.RenderTiming(os.Stdout, "Fig. 5 — detection-phase time vs series length (Wal-Mart-style data)", points); err != nil {
 		return err
 	}
 	if jsonPath != "" {
@@ -249,14 +256,14 @@ func fig6(sc scale, seed int64) error {
 		{"Fig. 6(a) — noise resilience, Uniform, P=25", gen.Uniform, 25},
 		{"Fig. 6(b) — noise resilience, Normal, P=32", gen.Normal, 32},
 	} {
-		points, err := expr.NoiseResilience(expr.NoiseConfig{
+		points, err := experiments.NoiseResilience(experiments.NoiseConfig{
 			Length: sc.length, Sigma: 10, Period: panel.period, Dist: panel.dist,
-			Kinds: expr.AllNoiseKinds, Ratios: ratios, Runs: sc.noiseRuns, Seed: seed,
+			Kinds: experiments.AllNoiseKinds, Ratios: ratios, Runs: sc.noiseRuns, Seed: seed,
 		})
 		if err != nil {
 			return err
 		}
-		if err := expr.RenderNoise(os.Stdout, panel.title, points); err != nil {
+		if err := experiments.RenderNoise(os.Stdout, panel.title, points); err != nil {
 			return err
 		}
 		fmt.Println()
@@ -268,20 +275,20 @@ var tableThresholds = []int{100, 90, 80, 70, 60, 50, 40, 30, 20, 10}
 
 func table1(sc scale, seed int64) error {
 	wm := walmart.Series(walmart.Config{Months: sc.months, Seed: seed, DST: true})
-	rows, err := expr.PeriodTable(wm, tableThresholds, 0, 4)
+	rows, err := experiments.PeriodTable(wm, tableThresholds, 0, 4)
 	if err != nil {
 		return err
 	}
-	if err := expr.RenderPeriodTable(os.Stdout, "Table 1 — period values, Wal-Mart substitute (hourly transactions)", rows); err != nil {
+	if err := experiments.RenderPeriodTable(os.Stdout, "Table 1 — period values, Wal-Mart substitute (hourly transactions)", rows); err != nil {
 		return err
 	}
 
 	cm := cimeg.Series(cimeg.Config{Days: sc.days, Seed: seed, Seasonal: true})
-	rows, err = expr.PeriodTable(cm, tableThresholds, 0, 4)
+	rows, err = experiments.PeriodTable(cm, tableThresholds, 0, 4)
 	if err != nil {
 		return err
 	}
-	if err := expr.RenderPeriodTable(os.Stdout, "\nTable 1 — period values, CIMEG substitute (daily power consumption)", rows); err != nil {
+	if err := experiments.RenderPeriodTable(os.Stdout, "\nTable 1 — period values, CIMEG substitute (daily power consumption)", rows); err != nil {
 		return err
 	}
 	fmt.Println()
@@ -290,20 +297,20 @@ func table1(sc scale, seed int64) error {
 
 func table2(sc scale, seed int64) error {
 	wm := walmart.Series(walmart.Config{Months: sc.months, Seed: seed, DST: true})
-	rows, err := expr.SinglePatternTable(wm, 24, tableThresholds[:6])
+	rows, err := experiments.SinglePatternTable(wm, 24, tableThresholds[:6])
 	if err != nil {
 		return err
 	}
-	if err := expr.RenderSinglePatternTable(os.Stdout, "Table 2 — single-symbol patterns, Wal-Mart substitute, period 24", rows); err != nil {
+	if err := experiments.RenderSinglePatternTable(os.Stdout, "Table 2 — single-symbol patterns, Wal-Mart substitute, period 24", rows); err != nil {
 		return err
 	}
 
 	cm := cimeg.Series(cimeg.Config{Days: sc.days, Seed: seed, Seasonal: true})
-	rows, err = expr.SinglePatternTable(cm, 7, tableThresholds[:6])
+	rows, err = experiments.SinglePatternTable(cm, 7, tableThresholds[:6])
 	if err != nil {
 		return err
 	}
-	if err := expr.RenderSinglePatternTable(os.Stdout, "\nTable 2 — single-symbol patterns, CIMEG substitute, period 7", rows); err != nil {
+	if err := experiments.RenderSinglePatternTable(os.Stdout, "\nTable 2 — single-symbol patterns, CIMEG substitute, period 7", rows); err != nil {
 		return err
 	}
 	fmt.Println()
@@ -312,29 +319,29 @@ func table2(sc scale, seed int64) error {
 
 func ablation(sc scale, seed int64) error {
 	sizes := []int{1 << 12, 1 << 14, 1 << 16}
-	rows, err := expr.EngineAblation(sizes, 0.7, 1<<14, seed)
+	rows, err := experiments.EngineAblation(sizes, 0.7, 1<<14, seed)
 	if err != nil {
 		return err
 	}
-	if err := expr.RenderEngineAblation(os.Stdout, "Ablation — full mining time per engine (ψ=0.7, pattern stage ≤ p=64)", rows); err != nil {
+	if err := experiments.RenderEngineAblation(os.Stdout, "Ablation — full mining time per engine (ψ=0.7, pattern stage ≤ p=64)", rows); err != nil {
 		return err
 	}
 
-	skRows, err := expr.SketchAblation(1<<15, []int{2, 8, 32, 128}, seed)
+	skRows, err := experiments.SketchAblation(1<<15, []int{2, 8, 32, 128}, seed)
 	if err != nil {
 		return err
 	}
 	fmt.Println()
-	if err := expr.RenderSketchAblation(os.Stdout, "Ablation — trends sketch accuracy vs repetitions (n=32768)", skRows); err != nil {
+	if err := experiments.RenderSketchAblation(os.Stdout, "Ablation — trends sketch accuracy vs repetitions (n=32768)", skRows); err != nil {
 		return err
 	}
 
-	prRows, err := expr.PruneAblation(1<<14, []int{80, 40}, []int{1, 4, 16}, seed)
+	prRows, err := experiments.PruneAblation(1<<14, []int{80, 40}, []int{1, 4, 16}, seed)
 	if err != nil {
 		return err
 	}
 	fmt.Println()
-	if err := expr.RenderPruneAblation(os.Stdout, "Ablation — FFT-engine prune: (period, symbol) pairs needing phase resolution", prRows); err != nil {
+	if err := experiments.RenderPruneAblation(os.Stdout, "Ablation — FFT-engine prune: (period, symbol) pairs needing phase resolution", prRows); err != nil {
 		return err
 	}
 	fmt.Println()
@@ -342,13 +349,13 @@ func ablation(sc scale, seed int64) error {
 }
 
 func quality(sc scale, seed int64) error {
-	cfg := expr.QualityConfig{Length: 8000, Period: 25, Sigma: 10,
+	cfg := experiments.QualityConfig{Length: 8000, Period: 25, Sigma: 10,
 		Ratios: []float64{0.1, 0.3, 0.5}, Runs: sc.noiseRuns, TopK: 10, Seed: seed}
-	rows, err := expr.Quality(cfg)
+	rows, err := experiments.Quality(cfg)
 	if err != nil {
 		return err
 	}
-	if err := expr.RenderQuality(os.Stdout,
+	if err := experiments.RenderQuality(os.Stdout,
 		"Quality (beyond the paper) — rank of the true period per detector under replacement noise",
 		rows, cfg.TopK); err != nil {
 		return err
@@ -530,13 +537,49 @@ func kernels(sc scale, seed int64, jsonPath string) error {
 	return nil
 }
 
-func table3(sc scale, seed int64) error {
-	wm := walmart.Series(walmart.Config{Months: sc.months, Seed: seed, DST: true})
-	rows, err := expr.PatternTable(wm, 24, 0.35, 30)
+// queryBench times one pattern query end to end — compile, mine, shape —
+// over the Wal-Mart substitute, exercising the exact path a query-driven
+// caller takes through the public API.
+func queryBench(sc scale, seed int64, src string) error {
+	if src == "" {
+		src = os.Getenv("PERIODICA_QUERY")
+	}
+	if src == "" {
+		return fmt.Errorf("the query experiment needs -query or $PERIODICA_QUERY")
+	}
+	compileStart := time.Now()
+	q, err := periodica.CompileQuery(src)
 	if err != nil {
 		return err
 	}
-	if err := expr.RenderPatternTable(os.Stdout, "Table 3 — periodic patterns, Wal-Mart substitute, period 24, ψ=35%", rows); err != nil {
+	compileTime := time.Since(compileStart)
+	wm := walmart.Series(walmart.Config{Months: sc.months, Seed: seed, DST: true})
+	s, err := periodica.NewSeriesFromString(wm.String())
+	if err != nil {
+		return err
+	}
+	mineStart := time.Now()
+	res, err := periodica.MineQuery(s, q)
+	if err != nil {
+		return err
+	}
+	mineTime := time.Since(mineStart)
+	fmt.Printf("Query benchmark — Wal-Mart substitute, n=%d\n", s.Len())
+	fmt.Printf("  query (canonical): %s\n", q)
+	fmt.Printf("  compile: %v   mine+shape: %v\n", compileTime, mineTime)
+	fmt.Printf("  periods=%d periodicities=%d patterns=%d truncated=%v\n",
+		len(res.Periods), len(res.Periodicities), len(res.Patterns), res.Truncated)
+	fmt.Println()
+	return nil
+}
+
+func table3(sc scale, seed int64) error {
+	wm := walmart.Series(walmart.Config{Months: sc.months, Seed: seed, DST: true})
+	rows, err := experiments.PatternTable(wm, 24, 0.35, 30)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderPatternTable(os.Stdout, "Table 3 — periodic patterns, Wal-Mart substitute, period 24, ψ=35%", rows); err != nil {
 		return err
 	}
 	fmt.Println()

@@ -12,11 +12,19 @@
 // periodic patterns with their supports; -json emits the full result as
 // JSON.
 //
+// Mining parameters come either from the option flags or from one pattern
+// query (-query or $PERIODICA_QUERY) like "conf >= 0.8 and period in 2..64";
+// mixing -query with option flags is an error. "opminer query check <q>"
+// compiles a query and prints its canonical form, typed plan, and spec JSON
+// without mining.
+//
 // Usage:
 //
 //	opgen -kind walmart | opminer -threshold 0.5 -top 20
+//	opgen -kind walmart | opminer -query 'conf >= 0.5 and period in 2..64'
 //	opminer -in readings.txt -format values -levels 5 -threshold 0.6
 //	opminer -in series.txt -threshold 0.8 -maximal -json
+//	opminer query check 'conf >= 0.8 and symbol in {a, b} and limit 10 by conf'
 package main
 
 import (
@@ -32,10 +40,15 @@ import (
 
 	"periodica"
 	"periodica/internal/cli"
+	"periodica/internal/query"
 	"periodica/internal/series"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "query" {
+		queryCommand(os.Args[2:])
+		return
+	}
 	var (
 		in         = flag.String("in", "", "input file (default stdin)")
 		format     = flag.String("format", "text", "input format: text, binary, values, events")
@@ -56,8 +69,31 @@ func main() {
 		candidates = flag.Bool("candidates-only", false, "run only the O(σ n log n) detection phase and list candidate periods")
 		tuneFile   = flag.String("tune", "", "load a convolution tuned-profile JSON (default $PERIODICA_TUNE_FILE)")
 		autotune   = flag.Duration("autotune", 0, "calibrate the convolution crossovers for this host before mining (sweep duration; with -tune, saves the profile there)")
+		querySrc   = flag.String("query", "", "pattern query, e.g. 'conf >= 0.8 and period in 2..64' (default $PERIODICA_QUERY); replaces the mining option flags")
 	)
 	flag.Parse()
+
+	// A query and the option flags are two spellings of the same parameters;
+	// accepting both would need a precedence rule nobody could remember, so
+	// mixing them is an error. $PERIODICA_QUERY is only a default: explicit
+	// option flags silently win over it, like any flag wins over its env
+	// default.
+	conflicting := miningFlagsSet()
+	if *querySrc != "" && len(conflicting) > 0 {
+		fatal(fmt.Errorf("-query conflicts with -%s; state those parameters as query clauses",
+			strings.Join(conflicting, ", -")))
+	}
+	src := *querySrc
+	if src == "" && len(conflicting) == 0 {
+		src = os.Getenv("PERIODICA_QUERY")
+	}
+	var q *periodica.Query
+	if src != "" {
+		var err error
+		if q, err = periodica.CompileQuery(src); err != nil {
+			fatal(err)
+		}
+	}
 
 	// Tuning only moves work between byte-identical kernels, so it can never
 	// change what gets mined — apply it before anything touches the engine.
@@ -72,7 +108,7 @@ func main() {
 
 	s, err := readSeries(*in, *format, prepConfig{
 		levels: *levels, sax: *sax, detrend: *detrend, paa: *paa,
-		bin: *bin, idle: *idle,
+		bin: *bin, idle: *idle, query: q,
 	})
 	if err != nil {
 		fatal(err)
@@ -81,40 +117,63 @@ func main() {
 		fmt.Printf("series: n=%d symbols, alphabet %v\n", s.Len(), s.Alphabet())
 	}
 
+	// The flag path and the query path converge on one Options value; the
+	// engine default resolves like the CI parity matrix does — the explicit
+	// flag or clause, then PERIODICA_ENGINE, then auto — so the same
+	// invocation mines identically under any engine leg.
+	var opt periodica.Options
+	if q != nil {
+		opt = q.Options()
+	} else {
+		// The option flags are just another spelling of a query: lift them
+		// into a Spec, validate against the single validator, and compile the
+		// canonical render — so a flag invocation and its query spelling
+		// cannot diverge.
+		sp := query.Spec{
+			Threshold: *threshold, MinPeriod: *minPeriod, MaxPeriod: *maxPeriod,
+			Engine: strings.ToLower(*engine), MaxPatternPeriod: *maxPatP, MaximalOnly: *maximal,
+		}
+		if err := sp.Validate(); err != nil {
+			fatal(err)
+		}
+		fq, err := periodica.CompileQuery(sp.Render())
+		if err != nil {
+			fatal(err)
+		}
+		opt = fq.Options()
+	}
+	if opt.Engine == periodica.EngineAuto {
+		if name := os.Getenv("PERIODICA_ENGINE"); name != "" {
+			eng, err := periodica.ParseEngine(strings.ToLower(name))
+			if err != nil {
+				fatal(err)
+			}
+			opt.Engine = eng
+		}
+	}
+
 	if *candidates {
-		periods, err := periodica.CandidatePeriods(s, *threshold, *maxPeriod)
+		periods, err := periodica.CandidatePeriods(s, opt.Threshold, opt.MaxPeriod)
 		if err != nil {
 			fatal(err)
 		}
 		if *jsonOut {
-			emitJSON(map[string]any{"threshold": *threshold, "candidatePeriods": periods})
+			emitJSON(map[string]any{"threshold": opt.Threshold, "candidatePeriods": periods})
 			return
 		}
-		fmt.Printf("candidate periods (ψ=%.2f): %d\n", *threshold, len(periods))
+		fmt.Printf("candidate periods (ψ=%.2f): %d\n", opt.Threshold, len(periods))
 		printPeriods(periods, *top)
 		return
 	}
 
-	// The engine default resolves like the CI parity matrix does: the
-	// PERIODICA_ENGINE environment variable when the flag is unset, then
-	// auto.
-	name := *engine
-	if name == "" {
-		name = os.Getenv("PERIODICA_ENGINE")
-	}
-	if name == "" {
-		name = "auto"
-	}
-	eng, err := parseEngine(name)
+	res, err := periodica.Mine(s, opt)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := periodica.Mine(s, periodica.Options{
-		Threshold: *threshold, MinPeriod: *minPeriod, MaxPeriod: *maxPeriod,
-		Engine: eng, MaxPatternPeriod: *maxPatP, MaximalOnly: *maximal,
-	})
-	if err != nil {
-		fatal(err)
+	if q != nil {
+		if res, err = q.Shape(s, res); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *jsonOut {
@@ -122,7 +181,7 @@ func main() {
 		return
 	}
 
-	fmt.Printf("\ndetected periods (ψ=%.2f): %d\n", *threshold, len(res.Periods))
+	fmt.Printf("\ndetected periods (ψ=%.2f): %d\n", opt.Threshold, len(res.Periods))
 	printPeriods(res.Periods, *top)
 
 	fmt.Printf("\nsymbol periodicities: %d\n", len(res.Periodicities))
@@ -159,6 +218,66 @@ type prepConfig struct {
 	paa     int
 	bin     time.Duration
 	idle    string
+	query   *periodica.Query // when set, its levels/discretize clauses drive the values format
+}
+
+// miningFlagNames are the flags a pattern query replaces: everything that
+// states a mining parameter or a discretization choice.
+var miningFlagNames = map[string]bool{
+	"threshold": true, "min-period": true, "max-period": true, "engine": true,
+	"max-pattern-period": true, "maximal": true,
+	"levels": true, "sax": true, "detrend": true, "paa": true,
+}
+
+// miningFlagsSet lists the explicitly set flags that conflict with -query.
+func miningFlagsSet() []string {
+	var set []string
+	flag.Visit(func(f *flag.Flag) {
+		if miningFlagNames[f.Name] {
+			set = append(set, f.Name)
+		}
+	})
+	return set
+}
+
+// queryCommand implements "opminer query check <query>": compile the query
+// and print its canonical form, typed plan, and spec JSON — a dry run for
+// what any entry point (CLI, HTTP, distributed) would execute.
+func queryCommand(args []string) {
+	if len(args) < 1 || args[0] != "check" {
+		fatal(fmt.Errorf("usage: opminer query check <query>"))
+	}
+	src := strings.TrimSpace(strings.Join(args[1:], " "))
+	if src == "" {
+		fatal(fmt.Errorf("usage: opminer query check <query>"))
+	}
+	q, err := periodica.CompileQuery(src)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("canonical: %s\n", q)
+	opt := q.Options()
+	fmt.Printf("plan: threshold ψ=%v, periods [%s, %s], engine %s\n",
+		opt.Threshold, orDefault(opt.MinPeriod, "1"), orDefault(opt.MaxPeriod, "n/2"), opt.Engine)
+	if syms := q.Symbols(); len(syms) > 0 {
+		fmt.Printf("      symbols %v\n", syms)
+	}
+	if n, by := q.Limit(); n > 0 {
+		fmt.Printf("      limit %d by %s\n", n, by)
+	}
+	spec, err := json.MarshalIndent(q, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("spec: %s\n", spec)
+}
+
+// orDefault renders a bound, or its documented default when unset.
+func orDefault(v int, def string) string {
+	if v == 0 {
+		return def
+	}
+	return fmt.Sprint(v)
 }
 
 func readSeries(path, format string, cfg prepConfig) (*periodica.Series, error) {
@@ -188,6 +307,9 @@ func readSeries(path, format string, cfg prepConfig) (*periodica.Series, error) 
 		values, err := series.ReadValues(r)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.query != nil {
+			return cfg.query.DiscretizeValues(values)
 		}
 		if cfg.sax {
 			return periodica.DiscretizeSAX(values, periodica.SAXOptions{
@@ -239,20 +361,6 @@ func emitJSON(v any) {
 	if err := enc.Encode(v); err != nil {
 		fatal(err)
 	}
-}
-
-func parseEngine(name string) (periodica.Engine, error) {
-	switch strings.ToLower(name) {
-	case "auto":
-		return periodica.EngineAuto, nil
-	case "naive":
-		return periodica.EngineNaive, nil
-	case "bitset":
-		return periodica.EngineBitset, nil
-	case "fft":
-		return periodica.EngineFFT, nil
-	}
-	return 0, fmt.Errorf("unknown engine %q", name)
 }
 
 func printPeriods(periods []int, top int) {

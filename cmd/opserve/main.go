@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"periodica"
 	"periodica/internal/cli"
 	"periodica/internal/dist"
 	"periodica/internal/fft"
@@ -73,9 +74,27 @@ func run() int {
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "distributed: open-circuit cooldown before a half-open probe, doubled per failed probe (0 = default 1s)")
 	verifyShards := flag.Float64("verify-shards", 0, "distributed: fraction of shards (0..1) double-dispatched to a second worker and cross-checked; mismatches are recomputed locally")
 	shardJournal := flag.String("shard-journal", "", "distributed: checkpoint completed shards to this file so an interrupted mine resumes instead of restarting")
+	defaultQuery := flag.String("query", "", "default pattern query for requests that carry no mining parameters (default $PERIODICA_QUERY)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	// The default query is compiled once at startup — a typo fails the boot,
+	// not the first parameterless request — and the canonical form is what
+	// the handlers apply and the logs show.
+	querySrc := *defaultQuery
+	if querySrc == "" {
+		querySrc = os.Getenv("PERIODICA_QUERY")
+	}
+	if querySrc != "" {
+		q, err := periodica.CompileQuery(querySrc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opserve: -query: %v\n", err)
+			return 1
+		}
+		querySrc = q.String()
+		logger.Info("default pattern query set", "query", querySrc)
+	}
 
 	// Tuning moves work between byte-identical kernels, so it changes serving
 	// latency but never a response body. Calibrate/load before accepting
@@ -131,6 +150,7 @@ func run() int {
 		EnablePprof:    *pprof,
 		Logger:         logger,
 		Distributor:    distributor,
+		DefaultQuery:   querySrc,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -22,6 +22,7 @@ import (
 
 	"periodica/internal/alphabet"
 	"periodica/internal/core"
+	"periodica/internal/query"
 	"periodica/internal/store"
 )
 
@@ -193,9 +194,11 @@ func runMine(dir string, args []string) error {
 	if *to < 0 {
 		*to = db.Segments()
 	}
-	res, err := db.Mine(*from, *to, core.Options{
-		Threshold: *threshold, MaxPatternPeriod: *maxPatP,
-	})
+	opt, err := core.OptionsFromSpec(query.Spec{Threshold: *threshold, MaxPatternPeriod: *maxPatP})
+	if err != nil {
+		return err
+	}
+	res, err := db.Mine(*from, *to, opt)
 	if err != nil {
 		return err
 	}

@@ -111,6 +111,7 @@ func Rules() []Rule {
 		IgnoreReason{},
 		MutGlobal{},
 		NoAlloc{},
+		OptDrift{},
 		PoolPair{},
 		StageState{},
 	}

@@ -18,37 +18,43 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // suppressions, so the goldens prove both directions: seeded defects
 // appear, suppressed and clean code stays silent. loadPath overrides
 // the fixture's import path for rules that key their scope on it
-// (ctxpoll's internal/exec, commitpath's internal/store).
+// (ctxpoll's internal/exec, commitpath's internal/store). module marks
+// fixtures that are miniature modules (their own go.mod) loaded with
+// LoadModule — for rules whose scope spans packages, like optdrift's
+// home-package exemptions.
 var goldenCases = []struct {
 	rule     string
 	fixture  string
 	loadPath string
 	clean    bool
+	module   bool
 }{
-	{"floatcmp", "floatcmp", "", false},
-	{"floatcmp", "floatcmp_clean", "", true},
-	{"poolpair", "poolpair", "", false},
-	{"poolpair", "poolpair_clean", "", true},
-	{"mutglobal", "mutglobal", "", false},
-	{"mutglobal", "mutglobal_clean", "", true},
-	{"noalloc", "noalloc", "", false},
-	{"noalloc", "noalloc_clean", "", true},
-	{"errcheck-lite", "errcheck", "", false},
-	{"errcheck-lite", "errcheck_clean", "", true},
-	{"stagestate", "stagestate", "", false},
-	{"stagestate", "stagestate_clean", "", true},
-	{"ctxpoll", "ctxpoll", "", false},
-	{"ctxpoll", "ctxpoll_clean", "", true},
-	{"ctxpoll", "execpoll", "fixture/execpoll/internal/exec", false},
-	{"ctxpoll", "execpoll_clean", "fixture/execpoll_clean/internal/exec", true},
-	{"atomicguard", "atomicguard", "", false},
-	{"atomicguard", "atomicguard_clean", "", true},
-	{"commitpath", "commitpath", "fixture/commitpath/internal/store", false},
-	{"commitpath", "commitpath_clean", "fixture/commitpath_clean/internal/store", true},
-	{"goroleak", "goroleak", "", false},
-	{"goroleak", "goroleak_clean", "", true},
-	{"ignorereason", "ignorereason", "", false},
-	{"ignorereason", "ignorereason_clean", "", true},
+	{"floatcmp", "floatcmp", "", false, false},
+	{"floatcmp", "floatcmp_clean", "", true, false},
+	{"poolpair", "poolpair", "", false, false},
+	{"poolpair", "poolpair_clean", "", true, false},
+	{"mutglobal", "mutglobal", "", false, false},
+	{"mutglobal", "mutglobal_clean", "", true, false},
+	{"noalloc", "noalloc", "", false, false},
+	{"noalloc", "noalloc_clean", "", true, false},
+	{"errcheck-lite", "errcheck", "", false, false},
+	{"errcheck-lite", "errcheck_clean", "", true, false},
+	{"stagestate", "stagestate", "", false, false},
+	{"stagestate", "stagestate_clean", "", true, false},
+	{"ctxpoll", "ctxpoll", "", false, false},
+	{"ctxpoll", "ctxpoll_clean", "", true, false},
+	{"ctxpoll", "execpoll", "fixture/execpoll/internal/exec", false, false},
+	{"ctxpoll", "execpoll_clean", "fixture/execpoll_clean/internal/exec", true, false},
+	{"atomicguard", "atomicguard", "", false, false},
+	{"atomicguard", "atomicguard_clean", "", true, false},
+	{"commitpath", "commitpath", "fixture/commitpath/internal/store", false, false},
+	{"commitpath", "commitpath_clean", "fixture/commitpath_clean/internal/store", true, false},
+	{"goroleak", "goroleak", "", false, false},
+	{"goroleak", "goroleak_clean", "", true, false},
+	{"ignorereason", "ignorereason", "", false, false},
+	{"ignorereason", "ignorereason_clean", "", true, false},
+	{"optdrift", "optdrift", "", false, true},
+	{"optdrift", "optdrift_clean", "", true, true},
 }
 
 func TestRuleGoldens(t *testing.T) {
@@ -59,11 +65,17 @@ func TestRuleGoldens(t *testing.T) {
 				t.Fatalf("rule %q not registered", tc.rule)
 			}
 			dir := filepath.Join("testdata", "src", tc.fixture)
-			loadPath := tc.loadPath
-			if loadPath == "" {
-				loadPath = "fixture/" + tc.fixture
+			var m *analysis.Module
+			var err error
+			if tc.module {
+				m, err = analysis.LoadModule(dir)
+			} else {
+				loadPath := tc.loadPath
+				if loadPath == "" {
+					loadPath = "fixture/" + tc.fixture
+				}
+				m, err = analysis.LoadPackageDir(dir, loadPath)
 			}
-			m, err := analysis.LoadPackageDir(dir, loadPath)
 			if err != nil {
 				t.Fatalf("loading %s: %v", dir, err)
 			}
@@ -133,8 +145,8 @@ func TestSuppressionSyntax(t *testing.T) {
 // every rule documents itself.
 func TestRegistry(t *testing.T) {
 	rules := analysis.Rules()
-	if len(rules) != 11 {
-		t.Fatalf("expected 11 rules, got %d", len(rules))
+	if len(rules) != 12 {
+		t.Fatalf("expected 12 rules, got %d", len(rules))
 	}
 	for i, r := range rules {
 		if r.Name() == "" || r.Doc() == "" {

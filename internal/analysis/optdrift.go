@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// OptDrift guards the single-options-path invariant the query DSL
+// established: every layer reaches mining options through the query
+// compiler's Spec and the adapters next to the Options types, so
+// defaults and bounds checks live in exactly one place. A composite
+// literal of core.Options or the public Options hand-built anywhere
+// else is the seed of a new conversion path whose validation can
+// drift — the drift this repo already collected four times before the
+// Spec collapse.
+//
+// Flagged: non-empty composite literals whose type is a named struct
+// called Options defined in an options home package — the module root
+// or any .../internal/core. Exempt:
+//
+//   - the home packages themselves (the adapters live there);
+//   - .../internal/query (the compiler lowers Specs by construction);
+//   - examples/... (they demonstrate the public struct API on purpose);
+//   - test files and the zero literal Options{} (an error-return
+//     placeholder carries no parameters to drift).
+//
+// Code that must hand-build options anyway (a wire-compat shim, a
+// fixture) carries an //opvet:ignore optdrift with its reason.
+type OptDrift struct{}
+
+func (OptDrift) Name() string { return "optdrift" }
+func (OptDrift) Doc() string {
+	return "hand-built mining Options literal outside the options home packages and the query compiler; build a query.Spec and lower it through the spec adapters"
+}
+
+func (OptDrift) Run(m *Module, report func(pos token.Pos, format string, args ...any)) {
+	for _, pkg := range m.Packages {
+		if optionsPathExempt(m, pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if strings.HasSuffix(m.Fset.Position(f.Pos()).Filename, "_test.go") {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok || len(lit.Elts) == 0 {
+					return true
+				}
+				tv, ok := pkg.Info.Types[lit]
+				if !ok {
+					return true
+				}
+				named, ok := types.Unalias(tv.Type).(*types.Named)
+				if !ok {
+					return true
+				}
+				obj := named.Obj()
+				if obj.Name() != "Options" || obj.Pkg() == nil || !optionsHome(m, obj.Pkg().Path()) {
+					return true
+				}
+				report(lit.Pos(),
+					"%s.Options built by hand outside its home packages; build a query.Spec (or compile a query string) and lower it through the spec adapters so defaults and validation cannot drift",
+					obj.Pkg().Name())
+				return true
+			})
+		}
+	}
+}
+
+// optionsHome reports whether path is a package that defines mining
+// options: the module root (the public Options) or an internal/core.
+func optionsHome(m *Module, path string) bool {
+	return path == m.Path || strings.HasSuffix(path, "/internal/core")
+}
+
+// optionsPathExempt reports whether code in pkg may build Options
+// literals: the homes, the query compiler, and the examples.
+func optionsPathExempt(m *Module, path string) bool {
+	return optionsHome(m, path) ||
+		strings.HasSuffix(path, "/internal/query") ||
+		path == m.Path+"/examples" || strings.HasPrefix(path, m.Path+"/examples/")
+}

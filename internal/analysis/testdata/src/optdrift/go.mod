@@ -1,0 +1,3 @@
+module optdrift
+
+go 1.22

@@ -1,0 +1,25 @@
+// Package core is the fixture's stand-in for the mining engine: it
+// defines the internal Options and may build them freely — the home
+// package is exempt.
+package core
+
+type Options struct {
+	Threshold float64
+	MinPeriod int
+	MaxPeriod int
+}
+
+// withDefaults hand-builds Options in the home package: exempt.
+func withDefaults(o Options) Options {
+	out := Options{Threshold: o.Threshold, MinPeriod: 1, MaxPeriod: o.MaxPeriod}
+	if out.MaxPeriod == 0 {
+		out.MaxPeriod = 64
+	}
+	return out
+}
+
+// Mine keeps the fixture honest about using its pieces.
+func Mine(o Options) int {
+	o = withDefaults(o)
+	return o.MaxPeriod - o.MinPeriod
+}

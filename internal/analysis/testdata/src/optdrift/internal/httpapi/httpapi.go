@@ -1,0 +1,47 @@
+// Package httpapi is a boundary layer: it must reach mining options
+// through the query compiler's Spec, never by hand-building them.
+package httpapi
+
+import (
+	"optdrift"
+	"optdrift/internal/core"
+	"optdrift/internal/query"
+)
+
+// fromRequest hand-builds core.Options outside the homes: flagged.
+func fromRequest(threshold float64) core.Options {
+	return core.Options{Threshold: threshold, MinPeriod: 2} // want firing
+}
+
+// publicFromRequest hand-builds the public Options: flagged too.
+func publicFromRequest(threshold float64) optdrift.Options {
+	return optdrift.Options{Threshold: threshold} // want firing
+}
+
+// zero returns the empty literal: an error-return placeholder carries
+// no parameters, so it stays silent.
+func zero() (core.Options, error) {
+	return core.Options{}, nil
+}
+
+// wireShim keeps a pre-Spec wire format alive and says why.
+func wireShim(threshold float64) core.Options {
+	//opvet:ignore optdrift v0 shard wire predates the spec adapters; deleted with the v0 protocol
+	return core.Options{Threshold: threshold, MaxPeriod: 128}
+}
+
+// throughSpec is the sanctioned path.
+func throughSpec(threshold float64) int {
+	opt := query.OptionsFromSpec(query.Spec{Threshold: threshold})
+	return core.Mine(opt)
+}
+
+// Handle ties the fixture together.
+func Handle(threshold float64) int {
+	a, _ := zero()
+	return core.Mine(fromRequest(threshold)) +
+		optdrift.Mine(publicFromRequest(threshold)) +
+		core.Mine(wireShim(threshold)) +
+		core.Mine(a) +
+		throughSpec(threshold)
+}

@@ -1,0 +1,17 @@
+// Package query is the fixture's compiler stand-in: lowering a Spec to
+// core.Options is its whole job, so it is exempt by path.
+package query
+
+import "optdrift/internal/core"
+
+// Spec mirrors the compiled query.
+type Spec struct {
+	Threshold float64
+	MinPeriod int
+	MaxPeriod int
+}
+
+// OptionsFromSpec is the one sanctioned lowering: exempt.
+func OptionsFromSpec(sp Spec) core.Options {
+	return core.Options{Threshold: sp.Threshold, MinPeriod: sp.MinPeriod, MaxPeriod: sp.MaxPeriod}
+}

@@ -1,0 +1,21 @@
+// Package optdrift is the fixture's public root package: it defines the
+// public Options and adapts them to core — the module root is an
+// options home, so its literals are exempt.
+package optdrift
+
+import "optdrift/internal/core"
+
+// Options is the public mining configuration.
+type Options struct {
+	Threshold float64
+	MaxPeriod int
+}
+
+// internal lowers the public Options: a cross-package core.Options
+// literal, exempt because the root package is an adapter home.
+func (o Options) internal() core.Options {
+	return core.Options{Threshold: o.Threshold, MaxPeriod: o.MaxPeriod}
+}
+
+// Mine is the public entry point.
+func Mine(o Options) int { return core.Mine(o.internal()) }

@@ -1,0 +1,23 @@
+// Package core is the clean fixture's engine stand-in; the home
+// package builds its Options freely.
+package core
+
+type Options struct {
+	Threshold float64
+	MinPeriod int
+	MaxPeriod int
+}
+
+func withDefaults(o Options) Options {
+	out := Options{Threshold: o.Threshold, MinPeriod: 1, MaxPeriod: o.MaxPeriod}
+	if out.MaxPeriod == 0 {
+		out.MaxPeriod = 64
+	}
+	return out
+}
+
+// Mine exercises the fixture.
+func Mine(o Options) int {
+	o = withDefaults(o)
+	return o.MaxPeriod - o.MinPeriod
+}

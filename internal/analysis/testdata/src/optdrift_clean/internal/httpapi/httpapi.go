@@ -1,0 +1,28 @@
+// Package httpapi reaches options only through the Spec lowering and
+// field writes on values the adapters produced — the shapes the rule
+// must stay silent on.
+package httpapi
+
+import (
+	"optdrift/internal/core"
+	"optdrift/internal/query"
+)
+
+// fromRequest goes through the compiler's Spec; mutating a field on
+// the lowered value afterwards is not a literal and does not drift.
+func fromRequest(threshold float64) core.Options {
+	opt := query.OptionsFromSpec(query.Spec{Threshold: threshold})
+	opt.MinPeriod = 2
+	return opt
+}
+
+// zero returns the empty placeholder literal, which is exempt.
+func zero() (core.Options, error) {
+	return core.Options{}, nil
+}
+
+// Handle exercises the package.
+func Handle(threshold float64) int {
+	a, _ := zero()
+	return core.Mine(fromRequest(threshold)) + core.Mine(a)
+}

@@ -1,0 +1,15 @@
+// Package query lowers Specs to core.Options; exempt by path.
+package query
+
+import "optdrift/internal/core"
+
+type Spec struct {
+	Threshold float64
+	MinPeriod int
+	MaxPeriod int
+}
+
+// OptionsFromSpec is the one sanctioned lowering.
+func OptionsFromSpec(sp Spec) core.Options {
+	return core.Options{Threshold: sp.Threshold, MinPeriod: sp.MinPeriod, MaxPeriod: sp.MaxPeriod}
+}

@@ -1,0 +1,17 @@
+// Package optdrift is the clean fixture's public root: an options
+// home, so its adapter literals are exempt.
+package optdrift
+
+import "optdrift/internal/core"
+
+type Options struct {
+	Threshold float64
+	MaxPeriod int
+}
+
+func (o Options) internal() core.Options {
+	return core.Options{Threshold: o.Threshold, MaxPeriod: o.MaxPeriod}
+}
+
+// Mine is the public entry point.
+func Mine(o Options) int { return core.Mine(o.internal()) }

@@ -73,32 +73,21 @@ type Options struct {
 	MinPairs int
 }
 
+// withDefaults delegates validation and defaulting to the pattern-query
+// Spec — the single validator every layer shares — by round-tripping
+// through query.Spec.Normalize. Errors come back with the query package's
+// wording, prefixed here, so a bad threshold reads identically whether it
+// arrived as a struct field or a query clause.
 func (o Options) withDefaults(n int) (Options, error) {
-	if o.Threshold <= 0 || o.Threshold > 1 {
-		return o, invalidf("core: threshold ψ=%v outside (0,1]", o.Threshold)
+	sp, err := SpecFromOptions(o).Normalize(n)
+	if err != nil {
+		return o, invalidf("core: %v", err)
 	}
-	if o.MinPeriod == 0 {
-		o.MinPeriod = 1
+	out, err := OptionsFromSpec(sp)
+	if err != nil {
+		return o, err
 	}
-	if o.MaxPeriod == 0 {
-		o.MaxPeriod = n / 2
-	}
-	if o.MinPeriod < 1 || o.MaxPeriod > n || o.MinPeriod > o.MaxPeriod {
-		return o, invalidf("core: invalid period range [%d,%d] for n=%d", o.MinPeriod, o.MaxPeriod, n)
-	}
-	if o.MaxPatternPeriod == 0 {
-		o.MaxPatternPeriod = 128
-	}
-	if o.MaxPatterns == 0 {
-		o.MaxPatterns = 10000
-	}
-	if o.MinPairs == 0 {
-		o.MinPairs = 1
-	}
-	if o.MinPairs < 1 {
-		return o, invalidf("core: MinPairs %d < 1", o.MinPairs)
-	}
-	return o, nil
+	return out, nil
 }
 
 // SymbolPeriodicity records that symbol Symbol is periodic with period Period

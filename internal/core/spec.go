@@ -1,0 +1,73 @@
+package core
+
+// Adapters between Options and the pattern-query language's query.Spec.
+// Options is now a thin view over a Spec: withDefaults round-trips through
+// query.Spec.Normalize, so the query compiler's validator is the single
+// place defaults and bounds checks live. Every other layer — the public
+// package, httpapi, the distributed coordinator, the CLIs — converts
+// through these two functions rather than hand-building Options.
+
+import "periodica/internal/query"
+
+// ParseEngine maps an engine name (Engine.String values) to its constant;
+// the empty string means auto. This is the one engine-name parser — the
+// shard wire, the CLIs, and the coordinator all call it.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "", query.EngineAuto:
+		return EngineAuto, nil
+	case query.EngineNaive:
+		return EngineNaive, nil
+	case query.EngineBitset:
+		return EngineBitset, nil
+	case query.EngineFFT:
+		return EngineFFT, nil
+	}
+	return 0, invalidf("core: unknown engine %q", name)
+}
+
+// OptionsFromSpec lowers a compiled query Spec to mining Options. The
+// Spec's shaping fields (symbol filter, limit, discretization, workers) do
+// not reach the core engine — they act on input and output at the boundary
+// layers — so only the mining subset transfers.
+func OptionsFromSpec(sp query.Spec) (Options, error) {
+	eng, err := ParseEngine(sp.Engine)
+	if err != nil {
+		return Options{}, err
+	}
+	return Options{
+		Threshold:        sp.Threshold,
+		MinPeriod:        sp.MinPeriod,
+		MaxPeriod:        sp.MaxPeriod,
+		Engine:           eng,
+		MaxPatternPeriod: sp.MaxPatternPeriod,
+		MaxPatterns:      sp.MaxPatterns,
+		MinPairs:         sp.MinPairs,
+	}, nil
+}
+
+// SpecFromOptions lifts Options to the equivalent query Spec — the inverse
+// of OptionsFromSpec over the mining fields. Rendering the result gives the
+// canonical query string for these options, which is what the distributed
+// coordinator puts on the /v1/shard wire.
+func SpecFromOptions(o Options) query.Spec {
+	return query.Spec{
+		Threshold:        o.Threshold,
+		MinPeriod:        o.MinPeriod,
+		MaxPeriod:        o.MaxPeriod,
+		Engine:           engineName(o.Engine),
+		MaxPatternPeriod: o.MaxPatternPeriod,
+		MaxPatterns:      o.MaxPatterns,
+		MinPairs:         o.MinPairs,
+	}
+}
+
+// engineName is Engine.String, except the zero value lifts to the Spec's
+// "unset" spelling so an all-defaults Options round-trips to an
+// all-defaults Spec.
+func engineName(e Engine) string {
+	if e == EngineAuto {
+		return ""
+	}
+	return e.String()
+}

@@ -45,6 +45,7 @@ import (
 	"periodica/internal/httpapi"
 	"periodica/internal/iofault"
 	"periodica/internal/obs"
+	"periodica/internal/query"
 	"periodica/internal/series"
 	"periodica/internal/store"
 )
@@ -180,7 +181,11 @@ func (c *Coordinator) Mine(ctx context.Context, s *periodica.Series, opt periodi
 		// does not round-trip cannot be distributed.
 		return nil, fmt.Errorf("dist: series is not wire-encodable: %w", err)
 	}
-	norm, err := core.NormalizeOptions(coreOptions(opt), ser.Len())
+	copt, err := coreOptions(opt)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := core.NormalizeOptions(copt, ser.Len())
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +217,13 @@ func (c *Coordinator) Mine(ctx context.Context, s *periodica.Series, opt periodi
 		defer func() { _ = jr.j.Close() }() // no-op after a completed mine's Remove
 	}
 
+	// Every shard carries the mine's canonical query string: the worker
+	// compiles exactly what the coordinator normalized (modulo the per-shard
+	// period band), and the response's QueryCRC echo proves it answered it.
+	// The scalar fields ride along for pre-query workers.
 	engine := norm.Engine.String()
+	normSpec := core.SpecFromOptions(norm)
+	canonical := normSpec.Render()
 	results := make([][]core.SymbolPeriodicity, len(plan))
 	errs := make([]error, len(plan))
 	var wg sync.WaitGroup
@@ -221,6 +232,7 @@ func (c *Coordinator) Mine(ctx context.Context, s *periodica.Series, opt periodi
 			ShardID:   sh.ID,
 			Alphabet:  alpha.Symbols(),
 			Symbols:   text,
+			Query:     canonical,
 			Threshold: norm.Threshold, MinPeriod: sh.MinPeriod, MaxPeriod: sh.MaxPeriod,
 			SymbolLo: sh.SymbolLo, SymbolHi: sh.SymbolHi,
 			MinPairs: norm.MinPairs, Engine: engine,
@@ -546,27 +558,17 @@ func slotsToWire(in []core.SymbolPeriodicity) []httpapi.ShardSlot {
 	return out
 }
 
-// coreOptions mirrors periodica.Options.internal; the distributed parity
-// suite pins the two against each other, so drift breaks a test rather than
-// byte-identity in production.
-func coreOptions(o periodica.Options) core.Options {
-	return core.Options{
-		Threshold: o.Threshold, MinPeriod: o.MinPeriod, MaxPeriod: o.MaxPeriod,
-		Engine: coreEngine(o.Engine), MaxPatternPeriod: o.MaxPatternPeriod,
-		MaxPatterns: o.MaxPatterns, MinPairs: o.MinPairs,
+// coreOptions lowers public options to core options through the query layer:
+// lift to the canonical query, compile it (cached, validated), convert. The
+// coordinator thus mines under exactly the Spec its shards announce on the
+// wire; the distributed parity suite pins this against the root package's own
+// conversion, so drift breaks a test rather than byte-identity in production.
+func coreOptions(o periodica.Options) (core.Options, error) {
+	sp, err := query.Compile(periodica.QueryFromOptions(o).String())
+	if err != nil {
+		return core.Options{}, fmt.Errorf("dist: %w", err)
 	}
-}
-
-func coreEngine(e periodica.Engine) core.Engine {
-	switch e {
-	case periodica.EngineNaive:
-		return core.EngineNaive
-	case periodica.EngineBitset:
-		return core.EngineBitset
-	case periodica.EngineFFT:
-		return core.EngineFFT
-	}
-	return core.EngineAuto
+	return core.OptionsFromSpec(sp)
 }
 
 // convertResult mirrors the root package's core→public conversion, likewise

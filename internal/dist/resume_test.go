@@ -53,7 +53,11 @@ func quarantineJournal(t *testing.T, path string) {
 func planSize(t *testing.T, nWorkers int) int {
 	t.Helper()
 	s := fixture(t)
-	norm, err := core.NormalizeOptions(coreOptions(fixtureOpt), len(s.String()))
+	copt, err := coreOptions(fixtureOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := core.NormalizeOptions(copt, len(s.String()))
 	if err != nil {
 		t.Fatal(err)
 	}

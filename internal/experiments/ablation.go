@@ -1,4 +1,4 @@
-package expr
+package experiments
 
 import (
 	"fmt"
@@ -9,6 +9,7 @@ import (
 	"periodica/internal/conv"
 	"periodica/internal/core"
 	"periodica/internal/gen"
+	"periodica/internal/query"
 	"periodica/internal/trends"
 )
 
@@ -34,24 +35,32 @@ func EngineAblation(sizes []int, psi float64, naiveLimit int, seed int64) ([]Eng
 			return nil, err
 		}
 		row := EngineRow{N: n, NaiveSecs: math.NaN()}
-		timeIt := func(eng core.Engine) (float64, error) {
+		timeIt := func(engine string) (float64, error) {
+			opt, err := core.OptionsFromSpec(query.Spec{Threshold: psi, Engine: engine, MaxPatternPeriod: 64})
+			if err != nil {
+				return 0, err
+			}
 			start := time.Now()
-			_, err := core.Mine(s, core.Options{Threshold: psi, Engine: eng, MaxPatternPeriod: 64})
+			_, err = core.Mine(s, opt)
 			return time.Since(start).Seconds(), err
 		}
 		if naiveLimit == 0 || n <= naiveLimit {
-			if row.NaiveSecs, err = timeIt(core.EngineNaive); err != nil {
+			if row.NaiveSecs, err = timeIt(query.EngineNaive); err != nil {
 				return nil, err
 			}
 		}
-		if row.BitsetSecs, err = timeIt(core.EngineBitset); err != nil {
+		if row.BitsetSecs, err = timeIt(query.EngineBitset); err != nil {
 			return nil, err
 		}
-		if row.FFTSecs, err = timeIt(core.EngineFFT); err != nil {
+		if row.FFTSecs, err = timeIt(query.EngineFFT); err != nil {
+			return nil, err
+		}
+		popt, err := core.OptionsFromSpec(query.Spec{Threshold: psi, MaxPatternPeriod: 64})
+		if err != nil {
 			return nil, err
 		}
 		start := time.Now()
-		if _, err := core.MineParallel(s, core.Options{Threshold: psi, MaxPatternPeriod: 64}, 0); err != nil {
+		if _, err := core.MineParallel(s, popt, 0); err != nil {
 			return nil, err
 		}
 		row.ParallelSecs = time.Since(start).Seconds()

@@ -1,4 +1,4 @@
-package expr
+package experiments
 
 import (
 	"math"

@@ -3,7 +3,7 @@
 // periodic-trends baseline (Figs. 3 and 4), the head-to-head timing study
 // (Fig. 5), the noise-resilience sweep (Fig. 6), and the Wal-Mart/CIMEG
 // period and pattern tables (Tables 1–3).
-package expr
+package experiments
 
 import (
 	"fmt"
@@ -12,6 +12,7 @@ import (
 
 	"periodica/internal/core"
 	"periodica/internal/gen"
+	"periodica/internal/query"
 	"periodica/internal/series"
 	"periodica/internal/trends"
 )
@@ -338,10 +339,14 @@ type SinglePatternRow struct {
 
 // SinglePatternTable reproduces Table 2 for one series and period.
 func SinglePatternTable(s *series.Series, period int, thresholdsPct []int) ([]SinglePatternRow, error) {
-	res, err := core.Mine(s, core.Options{
+	opt, err := core.OptionsFromSpec(query.Spec{
 		Threshold: 0.01, MinPeriod: period, MaxPeriod: period,
-		Engine: core.EngineBitset, MaxPatternPeriod: -1,
+		Engine: query.EngineBitset, MaxPatternPeriod: -1,
 	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Mine(s, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -370,10 +375,14 @@ type PatternRow struct {
 // PatternTable reproduces Table 3: the multi-symbol periodic patterns of one
 // period at one threshold, most supported first.
 func PatternTable(s *series.Series, period int, psi float64, maxPatterns int) ([]PatternRow, error) {
-	res, err := core.Mine(s, core.Options{
+	opt, err := core.OptionsFromSpec(query.Spec{
 		Threshold: psi, MinPeriod: period, MaxPeriod: period,
-		Engine: core.EngineBitset, MaxPatternPeriod: period, MaxPatterns: maxPatterns,
+		Engine: query.EngineBitset, MaxPatternPeriod: period, MaxPatterns: maxPatterns,
 	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Mine(s, opt)
 	if err != nil {
 		return nil, err
 	}

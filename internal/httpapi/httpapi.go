@@ -31,6 +31,7 @@ import (
 	"periodica"
 	"periodica/internal/exec"
 	"periodica/internal/obs"
+	"periodica/internal/query"
 )
 
 // MaxBodyBytes is the default request-body cap (64 MiB).
@@ -67,6 +68,11 @@ type Config struct {
 	// instead of mining in-process. /v1/candidates and /v1/shard always run
 	// locally.
 	Distributor Distributor
+	// DefaultQuery, when set, is the pattern query applied to /v1/mine and
+	// /v1/candidates requests that carry no mining parameters of their own
+	// (no query string and no legacy option fields). opserve sets it from
+	// -query / PERIODICA_QUERY after compiling it at startup.
+	DefaultQuery string
 }
 
 // Server is the mining service: an http.Handler plus the lifecycle state
@@ -141,21 +147,73 @@ func (s *Server) Metrics() *obs.Registry { return s.metrics }
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // MineRequest is the body of POST /v1/mine and POST /v1/candidates. Exactly
-// one of Symbols and Values must be set.
+// one of Symbols and Values must be set. The mining parameters come either
+// from Query — a pattern-query string like "conf >= 0.8 and period in
+// 2..64" — or from the legacy option fields; setting both is an error.
+// Internally the legacy fields are just a Spec builder: both forms funnel
+// through the one query validator, so defaults and error messages cannot
+// differ between them.
 type MineRequest struct {
 	// Symbols is a string of single-rune symbols.
 	Symbols string `json:"symbols,omitempty"`
 	// Values are raw numeric readings, discretized into Levels equal-width
-	// levels (default 5).
+	// levels (default 5; a query's "levels"/"discretize" clauses override).
 	Values []float64 `json:"values,omitempty"`
 	Levels int       `json:"levels,omitempty"`
 
-	Threshold        float64 `json:"threshold"`
+	// Query is a pattern-query string; when set, every other mining
+	// parameter (threshold through minPairs, and levels) must be unset.
+	Query string `json:"query,omitempty"`
+
+	Threshold        float64 `json:"threshold,omitempty"`
 	MinPeriod        int     `json:"minPeriod,omitempty"`
 	MaxPeriod        int     `json:"maxPeriod,omitempty"`
 	MaxPatternPeriod int     `json:"maxPatternPeriod,omitempty"`
 	MaximalOnly      bool    `json:"maximalOnly,omitempty"`
 	MinPairs         int     `json:"minPairs,omitempty"`
+}
+
+// hasLegacyOptions reports whether any legacy mining-parameter field is set.
+func (req *MineRequest) hasLegacyOptions() bool {
+	return req.Threshold != 0 || req.MinPeriod != 0 || req.MaxPeriod != 0 || //opvet:ignore floatcmp zero means unset
+		req.MaxPatternPeriod != 0 || req.MaximalOnly || req.MinPairs != 0 ||
+		req.Levels != 0
+}
+
+// resolveQuery compiles the request's effective query: the Query string
+// when present, the server's default query when the request carries no
+// parameters at all, or a Spec built from the legacy option fields. This is
+// the collapse point for what used to be two hand-rolled option paths —
+// every /v1/mine and /v1/candidates request now passes the single query
+// validator exactly once. On failure it has written the 400.
+func (s *Server) resolveQuery(w http.ResponseWriter, req *MineRequest) (*periodica.Query, bool) {
+	src := req.Query
+	if src != "" && req.hasLegacyOptions() {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: "set either query or the option fields (threshold, minPeriod, …, levels), not both"})
+		return nil, false
+	}
+	if src == "" && !req.hasLegacyOptions() && s.cfg.DefaultQuery != "" {
+		src = s.cfg.DefaultQuery
+	}
+	if src == "" {
+		spec := query.Spec{
+			Threshold: req.Threshold, MinPeriod: req.MinPeriod, MaxPeriod: req.MaxPeriod,
+			MaxPatternPeriod: req.MaxPatternPeriod, MaximalOnly: req.MaximalOnly,
+			MinPairs: req.MinPairs, Levels: req.Levels,
+		}
+		if err := spec.Validate(); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("invalid options: %v", err)})
+			return nil, false
+		}
+		src = spec.Render()
+	}
+	q, err := periodica.CompileQuery(src)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return nil, false
+	}
+	return q, true
 }
 
 // ErrorResponse is the JSON error envelope.
@@ -320,7 +378,15 @@ func (s *Server) writeMineError(w http.ResponseWriter, r *http.Request, err erro
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
-	req, series, ok := s.decodeSeries(w, r)
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	q, ok := s.resolveQuery(w, &req)
+	if !ok {
+		return
+	}
+	series, ok := s.buildSeries(w, &req, q)
 	if !ok {
 		return
 	}
@@ -332,19 +398,17 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	start := time.Now()
-	opt := periodica.Options{
-		Threshold: req.Threshold, MinPeriod: req.MinPeriod, MaxPeriod: req.MaxPeriod,
-		MaxPatternPeriod: req.MaxPatternPeriod, MaximalOnly: req.MaximalOnly,
-		MinPairs: req.MinPairs,
-	}
 	var (
 		res *periodica.Result
 		err error
 	)
 	if s.cfg.Distributor != nil {
-		res, err = s.cfg.Distributor.Mine(ctx, series, opt)
+		res, err = s.cfg.Distributor.Mine(ctx, series, q.Options())
+		if err == nil {
+			res, err = q.Shape(series, res)
+		}
 	} else {
-		res, err = periodica.MineContext(ctx, series, opt)
+		res, err = periodica.MineQueryContext(ctx, series, q)
 	}
 	s.metrics.Endpoint("/v1/mine").ObserveMine(time.Since(start))
 	if err != nil {
@@ -355,7 +419,15 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
-	req, series, ok := s.decodeSeries(w, r)
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	q, ok := s.resolveQuery(w, &req)
+	if !ok {
+		return
+	}
+	series, ok := s.buildSeries(w, &req, q)
 	if !ok {
 		return
 	}
@@ -367,23 +439,23 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	start := time.Now()
-	periods, err := periodica.CandidatePeriodsContext(ctx, series, req.Threshold, req.MaxPeriod)
+	periods, err := periodica.CandidatePeriodsQueryContext(ctx, series, q)
 	s.metrics.Endpoint("/v1/candidates").ObserveMine(time.Since(start))
 	if err != nil {
 		s.writeMineError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, CandidatesResponse{Threshold: req.Threshold, Periods: periods})
+	writeJSON(w, http.StatusOK, CandidatesResponse{Threshold: q.Options().Threshold, Periods: periods})
 }
 
-// decodeSeries parses the request and builds the series; on failure it has
+// decodeRequest parses a /v1/mine or /v1/candidates body; on failure it has
 // already written the error response.
-func (s *Server) decodeSeries(w http.ResponseWriter, r *http.Request) (MineRequest, *periodica.Series, bool) {
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (MineRequest, bool) {
 	var req MineRequest
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
-		return req, nil, false
+		return req, false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -392,11 +464,19 @@ func (s *Server) decodeSeries(w http.ResponseWriter, r *http.Request) (MineReque
 		if errors.As(err, &tooLarge) {
 			writeJSON(w, http.StatusRequestEntityTooLarge, ErrorResponse{
 				Error: fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit)})
-			return req, nil, false
+			return req, false
 		}
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
-		return req, nil, false
+		return req, false
 	}
+	return req, true
+}
+
+// buildSeries constructs the input series: symbols verbatim, values through
+// the resolved query's discretization clauses (which subsume the legacy
+// levels field — resolveQuery folded it into the query). On failure it has
+// already written the error response.
+func (s *Server) buildSeries(w http.ResponseWriter, req *MineRequest, q *periodica.Query) (*periodica.Series, bool) {
 	var (
 		series *periodica.Series
 		err    error
@@ -411,23 +491,15 @@ func (s *Server) decodeSeries(w http.ResponseWriter, r *http.Request) (MineReque
 			err = fmt.Errorf("values must not be empty")
 			break
 		}
-		if req.Levels < 0 {
-			err = fmt.Errorf("levels must be non-negative, got %d", req.Levels)
-			break
-		}
-		levels := req.Levels
-		if levels == 0 {
-			levels = 5
-		}
-		series, err = periodica.DiscretizeEqualWidth(req.Values, levels)
+		series, err = q.DiscretizeValues(req.Values)
 	default:
 		err = fmt.Errorf("symbols or values required")
 	}
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
-		return req, nil, false
+		return nil, false
 	}
-	return req, series, true
+	return series, true
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

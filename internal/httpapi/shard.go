@@ -24,6 +24,7 @@ import (
 	"periodica"
 	"periodica/internal/alphabet"
 	"periodica/internal/core"
+	"periodica/internal/query"
 	"periodica/internal/series"
 )
 
@@ -48,6 +49,15 @@ type ShardRequest struct {
 	// Symbols is the full series text; every rune must name an Alphabet
 	// symbol.
 	Symbols string `json:"symbols"`
+
+	// Query is the mine's compiled pattern query in canonical form
+	// (query.Spec.Render). When set it is the authoritative source of the
+	// mining parameters — the worker compiles it and overrides only the
+	// period band below — so every worker provably runs the same query the
+	// coordinator normalized once. The scalar fields remain for wire
+	// compatibility with pre-query coordinators and are ignored when Query
+	// is present (except the band and symbol range, which are per-shard).
+	Query string `json:"query,omitempty"`
 
 	Threshold float64 `json:"threshold"`
 	// MinPeriod and MaxPeriod are the shard's candidate-period band,
@@ -97,6 +107,10 @@ type ShardResponse struct {
 	// AlphaCRC is AlphabetCRC of the request's alphabet: a response computed
 	// against a different symbol numbering must never be merged.
 	AlphaCRC uint32 `json:"alphaCrc"`
+	// QueryCRC is QueryStringCRC of the request's Query (0 when the request
+	// carried none): a response mined under a different query must never be
+	// merged, even if its block coordinates line up.
+	QueryCRC uint32 `json:"queryCrc,omitempty"`
 	// Checksum is ShardChecksum over every other field, computed by the
 	// worker and verified by the client. JSON is self-describing enough that
 	// truncation breaks decoding, but a bit flip inside a digit is valid
@@ -119,6 +133,15 @@ func AlphabetCRC(symbols []string) uint32 {
 
 var shardCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
+// QueryStringCRC hashes a canonical query string for the QueryCRC echo; the
+// empty string hashes to 0 so pre-query requests keep their old checksums.
+func QueryStringCRC(query string) uint32 {
+	if query == "" {
+		return 0
+	}
+	return crc32.Checksum([]byte(query), shardCRCTable)
+}
+
 // ShardChecksum is the CRC-32C of a response's canonical encoding: every
 // field except Checksum itself, little-endian, slots in wire order. Both
 // sides compute it from their own decoded values, so any field the network
@@ -132,6 +155,7 @@ func ShardChecksum(resp *ShardResponse) uint32 {
 	put(resp.SymbolLo)
 	put(resp.SymbolHi)
 	buf = binary.LittleEndian.AppendUint32(buf, resp.AlphaCRC)
+	buf = binary.LittleEndian.AppendUint32(buf, resp.QueryCRC)
 	put(len(resp.Slots))
 	for _, sl := range resp.Slots {
 		put(sl.Symbol)
@@ -143,20 +167,24 @@ func ShardChecksum(resp *ShardResponse) uint32 {
 	return crc32.Checksum(buf, shardCRCTable)
 }
 
-// parseEngine maps the wire engine name (core.Engine.String values) back to
-// the engine constant; empty means auto.
-func parseEngine(name string) (core.Engine, error) {
-	switch name {
-	case "", "auto":
-		return core.EngineAuto, nil
-	case "naive":
-		return core.EngineNaive, nil
-	case "bitset":
-		return core.EngineBitset, nil
-	case "fft":
-		return core.EngineFFT, nil
+// shardOptions resolves a shard request to mining options through the query
+// layer: a request with a Query compiles it and overrides the per-shard
+// period band; a legacy request lifts its scalar fields into a Spec first.
+// Either way core.OptionsFromSpec is the one conversion point, so the shard
+// wire cannot drift from what the other layers accept.
+func shardOptions(req *ShardRequest) (core.Options, error) {
+	var sp query.Spec
+	if req.Query != "" {
+		compiled, err := query.Compile(req.Query)
+		if err != nil {
+			return core.Options{}, err
+		}
+		sp = compiled
+	} else {
+		sp = query.Spec{Threshold: req.Threshold, MinPairs: req.MinPairs, Engine: req.Engine}
 	}
-	return 0, fmt.Errorf("unknown engine %q", name)
+	sp.MinPeriod, sp.MaxPeriod = req.MinPeriod, req.MaxPeriod
+	return core.OptionsFromSpec(sp)
 }
 
 func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
@@ -188,7 +216,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
-	eng, err := parseEngine(req.Engine)
+	opt, err := shardOptions(&req)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
@@ -201,10 +229,6 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	start := time.Now()
-	opt := core.Options{
-		Threshold: req.Threshold, MinPeriod: req.MinPeriod, MaxPeriod: req.MaxPeriod,
-		MinPairs: req.MinPairs, Engine: eng,
-	}
 	var slots []core.SymbolPeriodicity
 	if req.Survivors != nil {
 		slots, err = core.MineShardSlotsFromSurvivors(ctx, ser, opt, req.SymbolLo, req.SymbolHi, req.Survivors)
@@ -221,6 +245,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		MinPeriod: req.MinPeriod, MaxPeriod: req.MaxPeriod,
 		SymbolLo: req.SymbolLo, SymbolHi: req.SymbolHi,
 		AlphaCRC: AlphabetCRC(req.Alphabet),
+		QueryCRC: QueryStringCRC(req.Query),
 	}
 	for _, sp := range slots {
 		resp.Slots = append(resp.Slots, ShardSlot{
@@ -357,6 +382,9 @@ func VerifyShardResponse(req *ShardRequest, resp *ShardResponse) error {
 	}
 	if want := AlphabetCRC(req.Alphabet); resp.AlphaCRC != want {
 		return fmt.Errorf("alphabet hash mismatch: request alphabet hashes to %08x, response answered %08x", want, resp.AlphaCRC)
+	}
+	if want := QueryStringCRC(req.Query); resp.QueryCRC != want {
+		return fmt.Errorf("query hash mismatch: request query hashes to %08x, response answered %08x", want, resp.QueryCRC)
 	}
 	return nil
 }

@@ -407,6 +407,38 @@ func (m *DistMetrics) renderDist(b *strings.Builder) {
 	m.ShardLatency().renderBuckets(b, "periodica_dist_shard_duration_seconds", "")
 }
 
+// QueryMetrics count pattern-query compilations process-wide: every layer
+// that turns a query string into a query.Spec — httpapi, the CLIs, the
+// distributed workers — funnels through one cached compiler, so these three
+// counters describe the whole process's query traffic.
+type QueryMetrics struct {
+	// Compiles counts cache-missing compilations (lex → parse → check →
+	// spec), successful or not.
+	Compiles Counter
+	// CompileErrors counts compilations rejected by the parser or
+	// typechecker.
+	CompileErrors Counter
+	// CacheHits counts compilations answered from the bounded spec cache —
+	// repeated query strings (standing queries, retried requests, shard
+	// fan-out) skip the front end entirely.
+	CacheHits Counter
+}
+
+var queryMetrics QueryMetrics //opvet:racesafe counters are atomics
+
+// Query returns the process-wide query-compiler metrics.
+func Query() *QueryMetrics { return &queryMetrics }
+
+// renderQuery writes the query-compiler metrics in exposition format.
+func (m *QueryMetrics) renderQuery(b *strings.Builder) {
+	b.WriteString("# TYPE periodica_query_compiles_total counter\n")
+	b.WriteString(fmt.Sprintf("periodica_query_compiles_total %d\n", m.Compiles.Value()))
+	b.WriteString("# TYPE periodica_query_compile_errors_total counter\n")
+	b.WriteString(fmt.Sprintf("periodica_query_compile_errors_total %d\n", m.CompileErrors.Value()))
+	b.WriteString("# TYPE periodica_query_cache_hits_total counter\n")
+	b.WriteString(fmt.Sprintf("periodica_query_cache_hits_total %d\n", m.CacheHits.Value()))
+}
+
 // statusClasses label the response-status families tracked per endpoint.
 var statusClasses = [...]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
 
@@ -538,6 +570,7 @@ func (r *Registry) RenderText() string {
 	execMetrics.renderExec(&b)
 	fftMetrics.renderFFT(&b)
 	distMetrics.renderDist(&b)
+	queryMetrics.renderQuery(&b)
 	return b.String()
 }
 

@@ -1,0 +1,108 @@
+package query
+
+// The typechecker. Each clause kind has a type signature — conf takes a
+// number in (0,1], period bounds take positive integers, engine takes one
+// of four enum words — and a query may bind each clause at most once, like
+// a record with optional fields. Everything here is static: a query that
+// typechecks can still fail against a concrete series (period range beyond
+// n/2), but that is Normalize's job; nothing about the query itself remains
+// unverified after this pass.
+
+import "math"
+
+// typecheck validates a parsed clause list.
+func typecheck(clauses []clause) error {
+	seen := make(map[clauseKind]bool, len(clauses))
+	for _, cl := range clauses {
+		if seen[cl.kind] {
+			return errAt(cl.pos, "duplicate %s clause", cl.kind)
+		}
+		seen[cl.kind] = true
+		if err := checkClause(cl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// intArg requires a positive integer literal that fits an int32 — every
+// integer knob (periods, caps, limits, workers) is a count, and the int32
+// ceiling keeps later arithmetic (n/2, shard planning) overflow-free.
+func intArg(n numLit, what string) error {
+	if n.isFloat {
+		return errAt(n.pos, "%s must be an integer, found %v", what, n.f)
+	}
+	if n.i < 1 {
+		return errAt(n.pos, "%s must be at least 1, found %d", what, n.i)
+	}
+	if n.i > math.MaxInt32 {
+		return errAt(n.pos, "%s %d out of range", what, n.i)
+	}
+	return nil
+}
+
+func checkClause(cl clause) error {
+	switch cl.kind {
+	case clauseConf:
+		v := cl.args[0].value()
+		if v <= 0 || v > 1 {
+			return errAt(cl.args[0].pos, "threshold ψ=%v outside (0,1]", v)
+		}
+	case clausePeriod:
+		for _, n := range cl.args {
+			if err := intArg(n, "period bound"); err != nil {
+				return err
+			}
+		}
+		if cl.op == "in" && cl.args[0].i > cl.args[1].i {
+			return errAt(cl.pos, "empty period range %d..%d", cl.args[0].i, cl.args[1].i)
+		}
+	case clausePairs:
+		return intArg(cl.args[0], "pairs bound")
+	case clauseSymbol:
+		seen := make(map[string]bool, len(cl.set))
+		for _, sym := range cl.set {
+			if seen[sym.text] {
+				return errAt(sym.pos, "duplicate symbol %q in set", sym.text)
+			}
+			seen[sym.text] = true
+		}
+	case clauseMaximal:
+		// Bare clause; nothing to check.
+	case clauseLimit:
+		if err := intArg(cl.args[0], "limit"); err != nil {
+			return err
+		}
+		switch cl.word {
+		case LimitByConf, "confidence", LimitBySupport, LimitByPeriod:
+		default:
+			return errAt(cl.wordPos, "unknown limit ordering %q (want conf, support, or period)", cl.word)
+		}
+	case clauseEngine:
+		switch cl.word {
+		case EngineAuto, EngineNaive, EngineBitset, EngineFFT:
+		default:
+			return errAt(cl.wordPos, "unknown engine %q (want auto, naive, bitset, or fft)", cl.word)
+		}
+	case clausePatternPeriod:
+		if cl.op == "<=" {
+			return intArg(cl.args[0], "pattern period cap")
+		}
+	case clausePatterns:
+		return intArg(cl.args[0], "patterns cap")
+	case clauseLevels:
+		n := cl.args[0]
+		if n.isFloat || n.i < 2 || n.i > 26 {
+			return errAt(n.pos, "levels must be an integer in 2..26")
+		}
+	case clauseDiscretize:
+		switch cl.word {
+		case DiscretizeWidth, DiscretizeSAX:
+		default:
+			return errAt(cl.wordPos, "unknown discretization %q (want width or sax)", cl.word)
+		}
+	case clauseWorkers:
+		return intArg(cl.args[0], "workers")
+	}
+	return nil
+}

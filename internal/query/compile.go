@@ -1,0 +1,130 @@
+package query
+
+import (
+	"sync"
+
+	"periodica/internal/obs"
+)
+
+// Compile runs the full front end — lex → parse → typecheck → fold — and
+// returns the canonical Spec for src. Results are memoized in a bounded
+// process-wide cache keyed by the exact source string: standing queries,
+// retried requests, and per-shard fan-out all repeat the same string, so
+// repeated compiles cost one mutex and one map probe (obs.Query() counts
+// the traffic). The returned Spec is a value; callers may modify their
+// copy freely.
+func Compile(src string) (Spec, error) {
+	cacheMu.Lock()
+	sp, ok := cache[src]
+	cacheMu.Unlock()
+	if ok {
+		obs.Query().CacheHits.Inc()
+		return sp, nil
+	}
+	obs.Query().Compiles.Inc()
+	sp, err := compile(src)
+	if err != nil {
+		obs.Query().CompileErrors.Inc()
+		return Spec{}, err
+	}
+	cacheMu.Lock()
+	if len(cache) >= cacheLimit {
+		// Wholesale eviction: the cache exists for tight repetition (the
+		// same standing queries over and over), so after a churn of unique
+		// strings the cheapest correct policy is to start over.
+		cache = make(map[string]Spec, cacheLimit)
+	}
+	cache[src] = sp
+	cacheMu.Unlock()
+	return sp, nil
+}
+
+const cacheLimit = 256
+
+var cacheMu sync.Mutex
+var cache = map[string]Spec{} //opvet:racesafe guarded by cacheMu
+
+// compile is the uncached front end.
+func compile(src string) (Spec, error) {
+	clauses, err := parse(src)
+	if err != nil {
+		return Spec{}, err
+	}
+	if err := typecheck(clauses); err != nil {
+		return Spec{}, err
+	}
+	return fold(clauses)
+}
+
+// fold lowers a typechecked clause list into the canonical Spec.
+func fold(clauses []clause) (Spec, error) {
+	var sp Spec
+	haveConf := false
+	for _, cl := range clauses {
+		switch cl.kind {
+		case clauseConf:
+			haveConf = true
+			sp.Threshold = cl.args[0].value()
+		case clausePeriod:
+			switch cl.op {
+			case "in":
+				sp.MinPeriod, sp.MaxPeriod = int(cl.args[0].i), int(cl.args[1].i)
+			case ">=":
+				sp.MinPeriod = int(cl.args[0].i)
+			case "<=":
+				sp.MaxPeriod = int(cl.args[0].i)
+			case "=":
+				sp.MinPeriod = int(cl.args[0].i)
+				sp.MaxPeriod = sp.MinPeriod
+			}
+		case clausePairs:
+			sp.MinPairs = int(cl.args[0].i)
+		case clauseSymbol:
+			syms := make([]string, len(cl.set))
+			for i, s := range cl.set {
+				syms[i] = s.text
+			}
+			sp.Symbols = NormalizeSymbols(syms)
+		case clauseMaximal:
+			sp.MaximalOnly = true
+		case clauseLimit:
+			sp.Limit = int(cl.args[0].i)
+			sp.LimitBy = cl.word
+			if sp.LimitBy == "confidence" {
+				sp.LimitBy = LimitByConf
+			}
+		case clauseEngine:
+			sp.Engine = cl.word
+		case clausePatternPeriod:
+			if cl.op == "off" {
+				sp.MaxPatternPeriod = -1
+			} else {
+				sp.MaxPatternPeriod = int(cl.args[0].i)
+			}
+		case clausePatterns:
+			sp.MaxPatterns = int(cl.args[0].i)
+		case clauseLevels:
+			sp.Levels = int(cl.args[0].i)
+		case clauseDiscretize:
+			sp.Discretize = cl.word
+		case clauseWorkers:
+			sp.Workers = int(cl.args[0].i)
+		}
+	}
+	if !haveConf {
+		return Spec{}, errAt(0, `missing conf clause (every query states its threshold, e.g. "conf >= 0.8")`)
+	}
+	if err := sp.Validate(); err != nil {
+		// Unreachable after typecheck; kept so a Spec never leaves the
+		// compiler unvalidated.
+		return Spec{}, errAt(0, "%v", err)
+	}
+	return sp, nil
+}
+
+// CacheSizeForTest reports the current cache population (test hook).
+func CacheSizeForTest() int {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return len(cache)
+}

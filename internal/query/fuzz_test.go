@@ -1,0 +1,37 @@
+package query
+
+import "testing"
+
+// FuzzQueryParse drives arbitrary byte strings through the full front end.
+// Invariants: the compiler never panics, and on every accepted input the
+// canonical form is a fixed point — rendering the compiled Spec and
+// compiling the rendering yields the same Spec and the same rendering.
+func FuzzQueryParse(f *testing.F) {
+	f.Add("conf >= 0.8 and period in 2..512")
+	f.Add("conf >= 0.5 and symbol in {a, b} and maximal only and limit 100 by conf")
+	f.Add(`conf >= 1 and symbol in {"a b", "\""} and engine fft`)
+	f.Add("confidence >= 0.25 and pattern period off and patterns <= 7")
+	f.Add("conf >= 0.5 and period = 24 and pairs >= 2 and levels 5 and discretize sax and workers 8")
+	f.Add("conf >= .5")
+	f.Add("conf >= 5e-1 and period in 1..1")
+	f.Add("period in 2..4 and conf >= 0.9 and engine bitset")
+	f.Add("conf\t>=\n0.5")
+	f.Add("{}..=>=<=,")
+	f.Fuzz(func(t *testing.T, src string) {
+		sp, err := compile(src) // uncached: the fuzzer must exercise the front end, not the cache
+		if err != nil {
+			return
+		}
+		canon := sp.Render()
+		sp2, err := compile(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted query %q does not compile: %v", canon, src, err)
+		}
+		if !sp.Equal(&sp2) {
+			t.Fatalf("canonical form %q compiles to a different spec:\n  first  %+v\n  second %+v", canon, sp, sp2)
+		}
+		if again := sp2.Render(); again != canon {
+			t.Fatalf("render not a fixed point: %q then %q", canon, again)
+		}
+	})
+}

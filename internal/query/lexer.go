@@ -1,0 +1,254 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind enumerates the token types of the query language.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	// tokWord is a bare word: a selector keyword ("conf", "period"), a
+	// connective ("and", "in", "by"), or a symbol name. Keywords are not
+	// reserved — the parser reads words contextually, so any word usable as
+	// a keyword is also usable as a symbol inside a set.
+	tokWord
+	tokInt
+	tokFloat
+	tokString // double-quoted, Go escaping
+	tokGE     // >=
+	tokLE     // <=
+	tokEQ     // =
+	tokDotDot // ..
+	tokLBrace
+	tokRBrace
+	tokComma
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokWord:
+		return "word"
+	case tokInt:
+		return "integer"
+	case tokFloat:
+		return "number"
+	case tokString:
+		return "quoted symbol"
+	case tokGE:
+		return `">="`
+	case tokLE:
+		return `"<="`
+	case tokEQ:
+		return `"="`
+	case tokDotDot:
+		return `".."`
+	case tokLBrace:
+		return `"{"`
+	case tokRBrace:
+		return `"}"`
+	case tokComma:
+		return `","`
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// token is one lexeme with its byte position (for error messages).
+type token struct {
+	kind tokKind
+	pos  int
+	text string  // word/string contents (unquoted), or raw number text
+	i    int64   // tokInt value
+	f    float64 // tokFloat value
+}
+
+// Error is a query compilation failure with the byte offset it points at.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("query: column %d: %s", e.Pos+1, e.Msg)
+}
+
+func errAt(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// isWordRune reports whether r may appear in a bare word token.
+func isWordRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// lexer scans a query string into tokens. Queries are short (one line), so
+// it lexes eagerly into a slice the parser indexes.
+type lexer struct {
+	src string
+	pos int
+}
+
+// lex scans the whole query, returning the token stream ending in tokEOF.
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src}
+	var toks []token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		if c := lx.src[lx.pos]; c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			lx.pos++
+			continue
+		}
+		break
+	}
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, pos: lx.pos}, nil
+	}
+	start := lx.pos
+	switch c := lx.src[lx.pos]; {
+	case c == '{':
+		lx.pos++
+		return token{kind: tokLBrace, pos: start}, nil
+	case c == '}':
+		lx.pos++
+		return token{kind: tokRBrace, pos: start}, nil
+	case c == ',':
+		lx.pos++
+		return token{kind: tokComma, pos: start}, nil
+	case c == '=':
+		lx.pos++
+		return token{kind: tokEQ, pos: start}, nil
+	case c == '>' || c == '<':
+		if lx.pos+1 >= len(lx.src) || lx.src[lx.pos+1] != '=' {
+			return token{}, errAt(start, "expected %q or %q, found %q", ">=", "<=", string(c))
+		}
+		lx.pos += 2
+		if c == '>' {
+			return token{kind: tokGE, pos: start}, nil
+		}
+		return token{kind: tokLE, pos: start}, nil
+	case c == '.':
+		if lx.pos+1 >= len(lx.src) || lx.src[lx.pos+1] != '.' {
+			return token{}, errAt(start, "unexpected %q", ".")
+		}
+		lx.pos += 2
+		return token{kind: tokDotDot, pos: start}, nil
+	case c == '"':
+		return lx.lexString()
+	case c >= '0' && c <= '9':
+		return lx.lexNumber()
+	default:
+		r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if r == utf8.RuneError && size <= 1 {
+			return token{}, errAt(start, "invalid UTF-8")
+		}
+		if !isWordRune(r) {
+			return token{}, errAt(start, "unexpected character %q", r)
+		}
+		return lx.lexWord()
+	}
+}
+
+// lexWord scans a run of word runes. A word starting with a digit is lexed
+// by lexNumber instead, so numbers and words cannot collide.
+func (lx *lexer) lexWord() (token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if !isWordRune(r) {
+			break
+		}
+		lx.pos += size
+	}
+	return token{kind: tokWord, pos: start, text: lx.src[start:lx.pos]}, nil
+}
+
+// lexNumber scans an integer or a decimal float. A '.' is part of the
+// number only when followed by a digit; ".." always terminates the integer,
+// so "2..512" lexes as INT DOTDOT INT.
+func (lx *lexer) lexNumber() (token, error) {
+	start := lx.pos
+	digits := func() {
+		for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			lx.pos++
+		}
+	}
+	digits()
+	isFloat := false
+	if lx.pos+1 < len(lx.src) && lx.src[lx.pos] == '.' && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9' {
+		isFloat = true
+		lx.pos++
+		digits()
+	}
+	if lx.pos < len(lx.src) && (lx.src[lx.pos] == 'e' || lx.src[lx.pos] == 'E') {
+		mark := lx.pos
+		lx.pos++
+		if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+			lx.pos++
+		}
+		if lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			isFloat = true
+			digits()
+		} else {
+			lx.pos = mark // "7eggs": the exponent didn't materialize
+		}
+	}
+	text := lx.src[start:lx.pos]
+	if lx.pos < len(lx.src) {
+		if r, _ := utf8.DecodeRuneInString(lx.src[lx.pos:]); isWordRune(r) {
+			return token{}, errAt(start, "malformed number %q", text+string(r))
+		}
+	}
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, errAt(start, "malformed number %q", text)
+		}
+		return token{kind: tokFloat, pos: start, text: text, f: f}, nil
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return token{}, errAt(start, "integer %q out of range", text)
+	}
+	return token{kind: tokInt, pos: start, text: text, i: i}, nil
+}
+
+// lexString scans a double-quoted symbol with Go escape sequences.
+func (lx *lexer) lexString() (token, error) {
+	start := lx.pos
+	i := lx.pos + 1
+	for i < len(lx.src) {
+		switch lx.src[i] {
+		case '\\':
+			i += 2
+			continue
+		case '"':
+			raw := lx.src[start : i+1]
+			s, err := strconv.Unquote(raw)
+			if err != nil {
+				return token{}, errAt(start, "malformed quoted symbol %s", raw)
+			}
+			lx.pos = i + 1
+			return token{kind: tokString, pos: start, text: s}, nil
+		}
+		i++
+	}
+	return token{}, errAt(start, "unterminated quoted symbol")
+}

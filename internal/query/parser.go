@@ -1,0 +1,351 @@
+package query
+
+// The parser turns the token stream into a clause list — the query AST.
+// It is purely syntactic: it knows each selector's shape ("conf" takes a
+// comparison, "symbol" takes a set, "maximal" takes the word "only") but
+// leaves literal types, value ranges, enum spellings, and duplicate
+// detection to the typechecker, so a query that parses but means nothing
+// still gets a precise, positioned error.
+
+// clauseKind enumerates the query language's clause forms.
+type clauseKind int
+
+const (
+	clauseConf clauseKind = iota
+	clausePeriod
+	clausePairs
+	clauseSymbol
+	clauseMaximal
+	clauseLimit
+	clauseEngine
+	clausePatternPeriod
+	clausePatterns
+	clauseLevels
+	clauseDiscretize
+	clauseWorkers
+)
+
+// clauseName maps a kind back to its selector spelling for error messages.
+func (k clauseKind) String() string {
+	switch k {
+	case clauseConf:
+		return "conf"
+	case clausePeriod:
+		return "period"
+	case clausePairs:
+		return "pairs"
+	case clauseSymbol:
+		return "symbol"
+	case clauseMaximal:
+		return "maximal only"
+	case clauseLimit:
+		return "limit"
+	case clauseEngine:
+		return "engine"
+	case clausePatternPeriod:
+		return "pattern period"
+	case clausePatterns:
+		return "patterns"
+	case clauseLevels:
+		return "levels"
+	case clauseDiscretize:
+		return "discretize"
+	case clauseWorkers:
+		return "workers"
+	}
+	return "clause"
+}
+
+// numLit is a numeric literal with enough type information for the checker
+// to distinguish integers from floats.
+type numLit struct {
+	pos     int
+	isFloat bool
+	f       float64
+	i       int64
+}
+
+// value returns the literal as a float regardless of lexical type.
+func (n numLit) value() float64 {
+	if n.isFloat {
+		return n.f
+	}
+	return float64(n.i)
+}
+
+// symLit is one symbol in a set literal.
+type symLit struct {
+	pos  int
+	text string
+}
+
+// clause is one parsed query clause.
+type clause struct {
+	kind    clauseKind
+	pos     int
+	op      string // ">=", "<=", "=", "in", "off", or "" for bare clauses
+	args    []numLit
+	word    string // engine name / limit ordering / discretization scheme
+	wordPos int
+	set     []symLit
+}
+
+// parser consumes the token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+func parse(src string) ([]clause, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var clauses []clause
+	for {
+		cl, err := p.clause()
+		if err != nil {
+			return nil, err
+		}
+		clauses = append(clauses, cl)
+		switch tok := p.peek(); {
+		case tok.kind == tokEOF:
+			return clauses, nil
+		case tok.kind == tokWord && tok.text == "and":
+			p.i++
+		default:
+			return nil, errAt(tok.pos, `expected "and" or end of query, found %s`, describe(tok))
+		}
+	}
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) take() token {
+	tok := p.toks[p.i]
+	if tok.kind != tokEOF {
+		p.i++
+	}
+	return tok
+}
+
+// describe renders a token for an error message.
+func describe(tok token) string {
+	switch tok.kind {
+	case tokWord:
+		return `"` + tok.text + `"`
+	case tokInt, tokFloat:
+		return tok.text
+	case tokString:
+		return "quoted symbol"
+	default:
+		return tok.kind.String()
+	}
+}
+
+// number expects a numeric literal.
+func (p *parser) number() (numLit, error) {
+	tok := p.take()
+	switch tok.kind {
+	case tokInt:
+		return numLit{pos: tok.pos, i: tok.i}, nil
+	case tokFloat:
+		return numLit{pos: tok.pos, isFloat: true, f: tok.f}, nil
+	}
+	return numLit{}, errAt(tok.pos, "expected a number, found %s", describe(tok))
+}
+
+// word expects a bare word.
+func (p *parser) word() (token, error) {
+	tok := p.take()
+	if tok.kind != tokWord {
+		return tok, errAt(tok.pos, "expected a word, found %s", describe(tok))
+	}
+	return tok, nil
+}
+
+// keyword expects the exact word want.
+func (p *parser) keyword(want string) error {
+	tok := p.take()
+	if tok.kind != tokWord || tok.text != want {
+		return errAt(tok.pos, "expected %q, found %s", want, describe(tok))
+	}
+	return nil
+}
+
+// clause parses one clause, dispatching on its selector word.
+func (p *parser) clause() (clause, error) {
+	sel, err := p.word()
+	if err != nil {
+		return clause{}, errAt(sel.pos, "expected a clause (conf, period, symbol, …), found %s", describe(sel))
+	}
+	switch sel.text {
+	case "conf", "confidence":
+		return p.comparison(clauseConf, sel.pos, tokGE)
+	case "period":
+		return p.periodClause(sel.pos)
+	case "pairs":
+		return p.comparison(clausePairs, sel.pos, tokGE)
+	case "symbol", "symbols":
+		return p.symbolClause(sel.pos)
+	case "maximal":
+		if err := p.keyword("only"); err != nil {
+			return clause{}, err
+		}
+		return clause{kind: clauseMaximal, pos: sel.pos}, nil
+	case "limit":
+		return p.limitClause(sel.pos)
+	case "engine":
+		return p.wordClause(clauseEngine, sel.pos)
+	case "pattern":
+		if err := p.keyword("period"); err != nil {
+			return clause{}, err
+		}
+		return p.patternPeriodClause(sel.pos)
+	case "patterns":
+		return p.comparison(clausePatterns, sel.pos, tokLE)
+	case "levels":
+		return p.bareNumberClause(clauseLevels, sel.pos)
+	case "discretize":
+		return p.wordClause(clauseDiscretize, sel.pos)
+	case "workers":
+		return p.bareNumberClause(clauseWorkers, sel.pos)
+	}
+	return clause{}, errAt(sel.pos, "unknown clause %q", sel.text)
+}
+
+// comparison parses `sel <op> number` where the only accepted operator is
+// wantOp (conf and pairs are lower bounds, patterns an upper bound).
+func (p *parser) comparison(kind clauseKind, pos int, wantOp tokKind) (clause, error) {
+	op := p.take()
+	if op.kind != wantOp {
+		return clause{}, errAt(op.pos, "%s takes %s, found %s", kind, wantOp, describe(op))
+	}
+	n, err := p.number()
+	if err != nil {
+		return clause{}, err
+	}
+	opText := ">="
+	if wantOp == tokLE {
+		opText = "<="
+	}
+	return clause{kind: kind, pos: pos, op: opText, args: []numLit{n}}, nil
+}
+
+// periodClause parses `period in a..b`, `period >= a`, `period <= b`, or
+// `period = p`.
+func (p *parser) periodClause(pos int) (clause, error) {
+	switch op := p.take(); op.kind {
+	case tokWord:
+		if op.text != "in" {
+			return clause{}, errAt(op.pos, `period takes "in", ">=", "<=", or "=", found %s`, describe(op))
+		}
+		lo, err := p.number()
+		if err != nil {
+			return clause{}, err
+		}
+		if tok := p.take(); tok.kind != tokDotDot {
+			return clause{}, errAt(tok.pos, `expected ".." in period range, found %s`, describe(tok))
+		}
+		hi, err := p.number()
+		if err != nil {
+			return clause{}, err
+		}
+		return clause{kind: clausePeriod, pos: pos, op: "in", args: []numLit{lo, hi}}, nil
+	case tokGE, tokLE, tokEQ:
+		n, err := p.number()
+		if err != nil {
+			return clause{}, err
+		}
+		opText := map[tokKind]string{tokGE: ">=", tokLE: "<=", tokEQ: "="}[op.kind]
+		return clause{kind: clausePeriod, pos: pos, op: opText, args: []numLit{n}}, nil
+	default:
+		return clause{}, errAt(op.pos, `period takes "in", ">=", "<=", or "=", found %s`, describe(op))
+	}
+}
+
+// symbolClause parses `symbol in {a, b, "c"}`.
+func (p *parser) symbolClause(pos int) (clause, error) {
+	if err := p.keyword("in"); err != nil {
+		return clause{}, err
+	}
+	if tok := p.take(); tok.kind != tokLBrace {
+		return clause{}, errAt(tok.pos, `expected "{" to open the symbol set, found %s`, describe(tok))
+	}
+	var set []symLit
+	for {
+		tok := p.take()
+		switch tok.kind {
+		case tokWord, tokString:
+			set = append(set, symLit{pos: tok.pos, text: tok.text})
+		case tokInt:
+			// Symbols may be numeric strings; reuse the raw text.
+			set = append(set, symLit{pos: tok.pos, text: tok.text})
+		case tokRBrace:
+			if len(set) == 0 {
+				return clause{}, errAt(tok.pos, "empty symbol set")
+			}
+			return clause{}, errAt(tok.pos, `expected a symbol, found "}"`)
+		default:
+			return clause{}, errAt(tok.pos, "expected a symbol, found %s", describe(tok))
+		}
+		switch tok := p.take(); tok.kind {
+		case tokComma:
+		case tokRBrace:
+			return clause{kind: clauseSymbol, pos: pos, op: "in", set: set}, nil
+		default:
+			return clause{}, errAt(tok.pos, `expected "," or "}" in symbol set, found %s`, describe(tok))
+		}
+	}
+}
+
+// limitClause parses `limit N by conf|support|period`.
+func (p *parser) limitClause(pos int) (clause, error) {
+	n, err := p.number()
+	if err != nil {
+		return clause{}, err
+	}
+	if err := p.keyword("by"); err != nil {
+		return clause{}, err
+	}
+	by, err := p.word()
+	if err != nil {
+		return clause{}, err
+	}
+	return clause{kind: clauseLimit, pos: pos, args: []numLit{n}, word: by.text, wordPos: by.pos}, nil
+}
+
+// wordClause parses `sel word` (engine names, discretization schemes).
+func (p *parser) wordClause(kind clauseKind, pos int) (clause, error) {
+	w, err := p.word()
+	if err != nil {
+		return clause{}, err
+	}
+	return clause{kind: kind, pos: pos, word: w.text, wordPos: w.pos}, nil
+}
+
+// bareNumberClause parses `sel N` (levels, workers).
+func (p *parser) bareNumberClause(kind clauseKind, pos int) (clause, error) {
+	n, err := p.number()
+	if err != nil {
+		return clause{}, err
+	}
+	return clause{kind: kind, pos: pos, args: []numLit{n}}, nil
+}
+
+// patternPeriodClause parses `pattern period <= P` or `pattern period off`.
+func (p *parser) patternPeriodClause(pos int) (clause, error) {
+	switch tok := p.take(); {
+	case tok.kind == tokLE:
+		n, err := p.number()
+		if err != nil {
+			return clause{}, err
+		}
+		return clause{kind: clausePatternPeriod, pos: pos, op: "<=", args: []numLit{n}}, nil
+	case tok.kind == tokWord && tok.text == "off":
+		return clause{kind: clausePatternPeriod, pos: pos, op: "off"}, nil
+	default:
+		return clause{}, errAt(tok.pos, `pattern period takes "<=" or "off", found %s`, describe(tok))
+	}
+}

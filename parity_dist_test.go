@@ -201,3 +201,39 @@ func TestParityDistributedHedge(t *testing.T) {
 		t.Error("a stalled worker produced no hedges in /metrics")
 	}
 }
+
+// TestParityDistributedQueryDriven closes the loop the acceptance criteria
+// name: a mine whose parameters arrive as a query string must produce the
+// same bytes through the sharded coordinator as the struct-driven local
+// mine, at any worker count. The coordinator re-renders the options to the
+// canonical query for the shard wire, so this also exercises the
+// compile → render → compile fixed point end to end over HTTP.
+func TestParityDistributedQueryDriven(t *testing.T) {
+	workers := startWorkers(t, distWorkerCount(t))
+	s, err := periodica.NewSeries(paritySymbols(605))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := periodica.Options{Threshold: 0.6, MinPairs: 3, MaxPatternPeriod: 21}
+	q, err := periodica.CompileQuery(periodica.QueryFromOptions(opt).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := periodica.Mine(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Periodicities) == 0 {
+		t.Fatal("parity fixture detected nothing; the test is vacuous")
+	}
+	for _, spw := range []int{1, 3} {
+		c := distCoordinator(t, dist.Config{Workers: workers, ShardsPerWorker: spw})
+		got, err := c.Mine(context.Background(), s, q.Options())
+		if err != nil {
+			t.Fatalf("shardsPerWorker=%d: %v", spw, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("shardsPerWorker=%d: query-driven distributed result differs from struct-driven Mine", spw)
+		}
+	}
+}

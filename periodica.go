@@ -36,6 +36,7 @@ import (
 	"periodica/internal/alphabet"
 	"periodica/internal/core"
 	"periodica/internal/discretize"
+	"periodica/internal/query"
 	"periodica/internal/series"
 )
 
@@ -150,6 +151,19 @@ const (
 	// plus on-demand phase resolution.
 	EngineFFT
 )
+
+// String returns the engine's name as the query language spells it.
+func (e Engine) String() string {
+	switch e {
+	case EngineNaive:
+		return query.EngineNaive
+	case EngineBitset:
+		return query.EngineBitset
+	case EngineFFT:
+		return query.EngineFFT
+	}
+	return query.EngineAuto
+}
 
 func (e Engine) internal() core.Engine {
 	switch e {
